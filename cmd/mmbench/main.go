@@ -1,0 +1,190 @@
+// Command mmbench is the benchmark suite's command line interface.
+//
+// Usage:
+//
+//	mmbench list                         list workloads and variants
+//	mmbench devices                      list hardware profiles
+//	mmbench run [flags]                  profile one workload variant
+//	mmbench train [flags]                train a variant and report metric
+//	mmbench repro [flags] <id>|all       regenerate a paper table/figure
+//	mmbench sweep [flags]                sweep batch sizes and devices
+//
+// Run "mmbench <command> -h" for per-command flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mmbench"
+	"mmbench/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "devices":
+		err = cmdDevices()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "repro":
+		err = cmdRepro(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mmbench: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `mmbench — end-to-end multi-modal DNN benchmark suite
+
+Commands:
+  list        list workloads, modalities and variants
+  devices     list hardware profiles
+  run         profile one workload variant on one device
+  train       train a variant on synthetic data and report its metric
+  repro       regenerate a table/figure of the paper (or "all")
+  sweep       profile a variant across devices and batch sizes`)
+}
+
+func cmdList() error {
+	t := report.NewTable("MMBench workloads",
+		"Workload", "Domain", "Task", "Size", "Modalities", "Variants")
+	for _, w := range mmbench.Workloads() {
+		t.AddRow(w.Name, w.Domain, w.Task, w.ModelSize,
+			strings.Join(w.Modalities, ","), strings.Join(w.Variants, ","))
+	}
+	return t.WriteText(os.Stdout)
+}
+
+func cmdDevices() error {
+	for _, d := range mmbench.Devices() {
+		fmt.Println(d)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workload := fs.String("workload", "avmnist", "workload name (see list)")
+	variant := fs.String("variant", "", "fusion method or uni:<modality> (default: workload's first fusion)")
+	dev := fs.String("device", "2080ti", "device profile: 2080ti, nano or orin")
+	batch := fs.Int("batch", 32, "batch size")
+	paper := fs.Bool("paper", true, "use the paper-scale profile flavour")
+	eager := fs.Bool("eager", false, "execute real numerics instead of the analytic abstraction")
+	format := fs.String("format", "text", "output format: text, csv or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := mmbench.Run(mmbench.RunConfig{
+		Workload:   *workload,
+		Variant:    *variant,
+		Device:     *dev,
+		BatchSize:  *batch,
+		PaperScale: *paper,
+		Eager:      *eager,
+	})
+	if err != nil {
+		return err
+	}
+	return renderReport(rep, *format)
+}
+
+func renderReport(r *mmbench.Report, format string) error {
+	summary := report.NewTable(
+		fmt.Sprintf("%s/%s on %s (batch %d)", r.Workload, r.Variant, r.Device, r.Batch),
+		"Latency (ms)", "GPU (ms)", "Host (ms)", "Transfer (ms)", "CPU+Runtime", "Kernels")
+	summary.AddRow(report.Ms(r.LatencySeconds), report.Ms(r.GPUSeconds), report.Ms(r.HostSeconds),
+		report.Ms(r.TransferSeconds), report.Pct(r.CPUShare), fmt.Sprint(r.Kernels))
+
+	stages := report.NewTable("Per-stage characterization",
+		"Stage", "Time (ms)", "DRAM_UTI", "GPU_OCU", "GLD_EFF", "GST_EFF", "IPC")
+	for _, s := range r.Stages {
+		stages.AddRow(s.Stage, report.Ms(s.Seconds), report.F(s.DRAMUtil),
+			report.F(s.Occupancy), report.F(s.GldEff), report.F(s.GstEff), report.F(s.IPC))
+	}
+
+	classes := report.NewTable("Kernel class breakdown", append([]string{"Stage"}, mmbench.KernelClasses()...)...)
+	for _, stage := range []string{"encoder", "fusion", "head"} {
+		row := []string{stage}
+		for _, c := range mmbench.KernelClasses() {
+			row = append(row, report.Pct(r.KernelClassShares[stage][c]))
+		}
+		classes.AddRow(row...)
+	}
+
+	mem := report.NewTable("Peak memory (MB)", "Model", "Dataset", "Intermediate")
+	mem.AddRow(report.F(r.Memory.Model), report.F(r.Memory.Dataset), report.F(r.Memory.Intermediate))
+
+	return report.Render(os.Stdout, format, summary, stages, classes, mem)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	workload := fs.String("workload", "avmnist", "workload name")
+	variant := fs.String("variant", "", "fusion method or uni:<modality>")
+	epochs := fs.Int("epochs", 0, "training epochs (0 = suite default)")
+	lr := fs.Float64("lr", 0, "learning rate (0 = suite default)")
+	seed := fs.Int64("seed", 1, "data seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := mmbench.Train(mmbench.TrainConfig{
+		Workload: *workload,
+		Variant:  *variant,
+		Epochs:   *epochs,
+		LR:       *lr,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s/%s: %s = %.3f (final loss %.3f)\n",
+		res.Workload, res.Variant, res.MetricName, res.Metric, res.FinalLoss)
+	return nil
+}
+
+func cmdRepro(args []string) error {
+	fs := flag.NewFlagSet("repro", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "shrink training runs and sweeps")
+	format := fs.String("format", "text", "output format: text, csv or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("repro needs experiment ids (one of %v, or all)", mmbench.ExperimentIDs())
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = mmbench.ExperimentIDs()
+	}
+	for _, id := range ids {
+		tables, err := mmbench.Experiment(id, *quick)
+		if err != nil {
+			return err
+		}
+		if err := report.Render(os.Stdout, *format, tables...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mmbench"
+	"mmbench/internal/report"
+)
+
+// cmdSweep profiles one workload variant across batch sizes and devices,
+// emitting one row per configuration — the tuning-knob exploration the
+// paper's Section 5 case studies are built from.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	workload := fs.String("workload", "avmnist", "workload name")
+	variant := fs.String("variant", "", "fusion method or uni:<modality>")
+	devices := fs.String("devices", "2080ti,orin,nano", "comma-separated device list")
+	batches := fs.String("batches", "32,64,128,256", "comma-separated batch sizes")
+	tasks := fs.Int("tasks", 0, "if > 0, also report total time for this many inference tasks")
+	format := fs.String("format", "text", "output format: text, csv or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	batchList, err := parseInts(*batches)
+	if err != nil {
+		return fmt.Errorf("bad -batches: %w", err)
+	}
+	devList := strings.Split(*devices, ",")
+
+	cols := []string{"Device", "Batch", "Latency (ms)", "GPU (ms)", "CPU+Runtime", "Intermediate (MB)"}
+	if *tasks > 0 {
+		cols = append(cols, fmt.Sprintf("Total for %d tasks (s)", *tasks))
+	}
+	t := report.NewTable(fmt.Sprintf("Sweep: %s/%s", *workload, *variant), cols...)
+	for _, dev := range devList {
+		for _, batch := range batchList {
+			rep, err := mmbench.Run(mmbench.RunConfig{
+				Workload:   *workload,
+				Variant:    *variant,
+				Device:     strings.TrimSpace(dev),
+				BatchSize:  batch,
+				PaperScale: true,
+			})
+			if err != nil {
+				return err
+			}
+			row := []string{
+				rep.Device, strconv.Itoa(batch),
+				report.Ms(rep.LatencySeconds), report.Ms(rep.GPUSeconds),
+				report.Pct(rep.CPUShare), report.F(rep.Memory.Intermediate),
+			}
+			if *tasks > 0 {
+				nBatches := float64((*tasks + batch - 1) / batch)
+				row = append(row, report.F(rep.LatencySeconds*nBatches))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return report.Render(os.Stdout, *format, t)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("non-positive value %d", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

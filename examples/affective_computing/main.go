@@ -1,0 +1,61 @@
+// Affective computing: study CMU-MOSEI sentiment analysis across fusion
+// operators — the algorithm-level half of MMBench. Different fusion
+// methods reach different accuracy at different system cost, the
+// performance/complexity trade-off the paper's Figure 4 motivates.
+//
+// Run with: go run ./examples/affective_computing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mmbench"
+)
+
+func main() {
+	fmt.Println("CMU-MOSEI sentiment: text + facial + acoustic features")
+	fmt.Println()
+
+	// 1. Uni-modal baselines: text carries most of the signal (the
+	// paper: "text-based features perform better than visual or auditory
+	// modalities in multi-modal language-emotion analysis tasks").
+	fmt.Println("Accuracy by variant:")
+	variants := []string{"uni:text", "uni:vision", "uni:audio", "concat", "tensor", "transformer"}
+	best := ""
+	bestAcc := 0.0
+	for _, v := range variants {
+		res, err := mmbench.Train(mmbench.TrainConfig{Workload: "mosei", Variant: v})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s accuracy = %.3f\n", v, res.Metric)
+		if res.Metric > bestAcc {
+			bestAcc, best = res.Metric, v
+		}
+	}
+	fmt.Printf("best variant: %s (%.3f)\n\n", best, bestAcc)
+
+	// 2. The system cost of those fusion choices: profile each fusion on
+	// the server model and compare the fusion-stage kernel time.
+	fmt.Println("Fusion-stage cost on 2080ti (batch 32, paper-scale):")
+	for _, v := range []string{"concat", "tensor", "transformer"} {
+		rep, err := mmbench.Run(mmbench.RunConfig{
+			Workload:   "mosei",
+			Variant:    v,
+			BatchSize:  32,
+			PaperScale: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var fusionMs float64
+		for _, s := range rep.Stages {
+			if s.Stage == "fusion" {
+				fusionMs = s.Seconds * 1e3
+			}
+		}
+		fmt.Printf("  %-12s fusion %.3f ms of %.3f ms total GPU, %d kernels\n",
+			v, fusionMs, rep.GPUSeconds*1e3, rep.Kernels)
+	}
+}

@@ -1,0 +1,155 @@
+// Package adaptive implements the execution strategy the paper's modality
+// analysis calls for: "Smartly activating one of the encoders can fulfill
+// the requirements in most of the cases. There exists room for adaptive
+// execution strategies to achieve a better performance-complexity
+// tradeoff."
+//
+// A Cascade first classifies every sample with the cheap major-modality
+// network; samples whose softmax confidence clears a threshold are
+// accepted, and only the rest are escalated to the full multi-modal
+// network. Because the planted data (like the paper's measurements) makes
+// >75% of samples solvable from the major modality alone, the cascade
+// preserves most of the multi-modal accuracy at a fraction of the compute.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+
+	"mmbench/internal/core"
+	"mmbench/internal/data"
+	"mmbench/internal/device"
+	"mmbench/internal/mmnet"
+	"mmbench/internal/ops"
+	"mmbench/internal/tensor"
+	"mmbench/internal/train"
+)
+
+// Cascade pairs a cheap major-modality network with the full multi-modal
+// network.
+type Cascade struct {
+	// Major is the uni-modal (major modality) classifier.
+	Major *mmnet.Network
+	// Full is the multi-modal classifier consulted on low-confidence
+	// samples.
+	Full *mmnet.Network
+	// Threshold is the softmax confidence above which the major
+	// network's prediction is accepted without fusion.
+	Threshold float64
+}
+
+// New validates and builds a cascade. Both networks must be classifiers
+// over the same generator.
+func New(major, full *mmnet.Network, threshold float64) (*Cascade, error) {
+	if major.Task != data.Classify || full.Task != data.Classify {
+		return nil, fmt.Errorf("adaptive: cascade needs classification networks, got %v/%v", major.Task, full.Task)
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("adaptive: threshold %f outside (0,1)", threshold)
+	}
+	if major.Gen != full.Gen {
+		return nil, fmt.Errorf("adaptive: networks must share one data generator")
+	}
+	return &Cascade{Major: major, Full: full, Threshold: threshold}, nil
+}
+
+// Classify predicts a batch: cheap path first, escalation for
+// low-confidence samples. It returns predictions and the escalated-sample
+// mask.
+func (c *Cascade) Classify(b *data.Batch) (preds []int, escalated []bool) {
+	ctx := ops.Infer()
+	out := c.Major.Forward(ctx, b)
+	probs := ctx.Softmax(out)
+	preds = train.Predictions(out)
+	escalated = make([]bool, b.Size)
+
+	needFull := false
+	k := probs.Value.Dim(1)
+	for i := 0; i < b.Size; i++ {
+		best := 0.0
+		for j := 0; j < k; j++ {
+			if p := float64(probs.Value.At(i, j)); p > best {
+				best = p
+			}
+		}
+		if best < c.Threshold {
+			escalated[i] = true
+			needFull = true
+		}
+	}
+	if !needFull {
+		return preds, escalated
+	}
+	// Escalate: the full network re-processes the batch; its predictions
+	// replace the low-confidence ones. (A production system would gather
+	// only the escalated samples; re-running the batch keeps the
+	// reference implementation simple without changing accuracy.)
+	fullPreds := train.Predictions(c.Full.Forward(ops.Infer(), b))
+	for i, esc := range escalated {
+		if esc {
+			preds[i] = fullPreds[i]
+		}
+	}
+	return preds, escalated
+}
+
+// Result summarizes a cascade evaluation against its two endpoints.
+type Result struct {
+	// Accuracies of the three strategies.
+	CascadeAccuracy float64
+	MajorAccuracy   float64
+	FullAccuracy    float64
+	// EscalationRate is the fraction of samples needing the full
+	// network.
+	EscalationRate float64
+	// CostRatio is the cascade's modeled per-sample latency relative to
+	// always running the full network (< 1 means cheaper).
+	CostRatio float64
+}
+
+// Evaluate measures the cascade over nBatches × batchSize fresh samples
+// and prices its compute on the given device.
+func Evaluate(c *Cascade, dev *device.Profile, rng *tensor.RNG, nBatches, batchSize int) (Result, error) {
+	var res Result
+	var correctCascade, correctMajor, correctFull, escalations, total int
+	for bi := 0; bi < nBatches; bi++ {
+		b := c.Full.Gen.Batch(rng.Split(int64(bi)), batchSize)
+		preds, escalated := c.Classify(b)
+		majorPreds := train.Predictions(c.Major.Forward(ops.Infer(), b))
+		fullPreds := train.Predictions(c.Full.Forward(ops.Infer(), b))
+		for i := 0; i < b.Size; i++ {
+			total++
+			if preds[i] == b.Labels[i] {
+				correctCascade++
+			}
+			if majorPreds[i] == b.Labels[i] {
+				correctMajor++
+			}
+			if fullPreds[i] == b.Labels[i] {
+				correctFull++
+			}
+			if escalated[i] {
+				escalations++
+			}
+		}
+	}
+	res.CascadeAccuracy = float64(correctCascade) / float64(total)
+	res.MajorAccuracy = float64(correctMajor) / float64(total)
+	res.FullAccuracy = float64(correctFull) / float64(total)
+	res.EscalationRate = float64(escalations) / float64(total)
+
+	majorRun, err := core.Run(c.Major, core.RunOptions{Device: dev, BatchSize: batchSize})
+	if err != nil {
+		return res, err
+	}
+	fullRun, err := core.Run(c.Full, core.RunOptions{Device: dev, BatchSize: batchSize})
+	if err != nil {
+		return res, err
+	}
+	cascadeCost := majorRun.Latency + res.EscalationRate*fullRun.Latency
+	res.CostRatio = cascadeCost / fullRun.Latency
+	if math.IsNaN(res.CostRatio) {
+		return res, fmt.Errorf("adaptive: degenerate cost model")
+	}
+	return res, nil
+}

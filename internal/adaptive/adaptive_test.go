@@ -1,0 +1,104 @@
+package adaptive
+
+import (
+	"testing"
+
+	"mmbench/internal/device"
+	"mmbench/internal/tensor"
+	"mmbench/internal/train"
+	"mmbench/internal/workloads"
+)
+
+func trainedPair(t *testing.T) (*Cascade, *tensor.RNG) {
+	t.Helper()
+	full, err := workloads.Build("avmnist", "concat", false, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	major, err := workloads.Build("avmnist", "uni:image", false, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The networks must agree on the data distribution.
+	major.Gen = full.Gen
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 3
+	train.Fit(full, cfg)
+	train.Fit(major, cfg)
+	c, err := New(major, full, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tensor.NewRNG(777)
+}
+
+func TestNewValidation(t *testing.T) {
+	full, _ := workloads.Build("avmnist", "concat", false, 1)
+	major, _ := workloads.Build("avmnist", "uni:image", false, 1)
+	major.Gen = full.Gen
+	if _, err := New(major, full, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := New(major, full, 1.5); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+	reg, _ := workloads.Build("push", "concat", false, 1)
+	if _, err := New(major, reg, 0.9); err == nil {
+		t.Error("regression network accepted")
+	}
+	other, _ := workloads.Build("avmnist", "uni:image", false, 2)
+	if _, err := New(other, full, 0.9); err == nil {
+		t.Error("mismatched generators accepted")
+	}
+}
+
+func TestCascadeTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	c, rng := trainedPair(t)
+	res, err := Evaluate(c, device.RTX2080Ti(), rng, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's observation: most samples are solvable from the major
+	// modality, so the cascade escalates a minority and stays cheap.
+	if res.EscalationRate > 0.7 {
+		t.Errorf("escalation rate %f too high", res.EscalationRate)
+	}
+	if res.CostRatio >= 1 {
+		t.Errorf("cascade cost ratio %f not below always-full", res.CostRatio)
+	}
+	// Accuracy must sit between (or match) the endpoints, near the full
+	// network's.
+	if res.CascadeAccuracy < res.MajorAccuracy-0.02 {
+		t.Errorf("cascade accuracy %f below major-only %f", res.CascadeAccuracy, res.MajorAccuracy)
+	}
+	if res.CascadeAccuracy < res.FullAccuracy-0.12 {
+		t.Errorf("cascade accuracy %f far below full %f", res.CascadeAccuracy, res.FullAccuracy)
+	}
+}
+
+func TestClassifyEscalationMask(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	c, rng := trainedPair(t)
+	b := c.Full.Gen.Batch(rng, 32)
+	preds, escalated := c.Classify(b)
+	if len(preds) != 32 || len(escalated) != 32 {
+		t.Fatalf("sizes %d/%d", len(preds), len(escalated))
+	}
+	// A very strict threshold escalates everything.
+	c.Threshold = 0.999999
+	_, allEsc := c.Classify(b)
+	count := 0
+	for _, e := range allEsc {
+		if e {
+			count++
+		}
+	}
+	if count < 30 {
+		t.Errorf("strict threshold escalated only %d/32", count)
+	}
+}

@@ -1,0 +1,78 @@
+package autograd
+
+import (
+	"testing"
+
+	"mmbench/internal/tensor"
+)
+
+func TestVarLifecycle(t *testing.T) {
+	v := NewVar(tensor.New(2, 3))
+	if v.NeedGrad {
+		t.Error("plain var requires grad")
+	}
+	p := Param(tensor.New(2, 3))
+	if !p.NeedGrad {
+		t.Error("param does not require grad")
+	}
+	g := p.EnsureGrad()
+	if g == nil || g.Size() != 6 {
+		t.Fatalf("grad %v", g)
+	}
+	if p.EnsureGrad() != g {
+		t.Error("EnsureGrad reallocated")
+	}
+	g.Fill(3)
+	p.ZeroGrad()
+	if g.MaxAbs() != 0 {
+		t.Error("ZeroGrad did not clear")
+	}
+	// ZeroGrad on a var without grad must be a no-op.
+	NewVar(tensor.New(1)).ZeroGrad()
+}
+
+func TestTapeReverseOrder(t *testing.T) {
+	tape := NewTape()
+	var order []int
+	tape.Append(func() { order = append(order, 1) })
+	tape.Append(func() { order = append(order, 2) })
+	tape.Append(func() { order = append(order, 3) })
+	if tape.Len() != 3 {
+		t.Fatalf("len %d", tape.Len())
+	}
+	loss := Param(tensor.New(1))
+	tape.Backward(loss)
+	if len(order) != 3 || order[0] != 3 || order[2] != 1 {
+		t.Fatalf("replay order %v", order)
+	}
+	if loss.Grad.At(0) != 1 {
+		t.Fatalf("loss grad %v, want seeded 1", loss.Grad.At(0))
+	}
+}
+
+func TestTapeReset(t *testing.T) {
+	tape := NewTape()
+	tape.Append(func() {})
+	tape.Reset()
+	if tape.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestBackwardRejectsNonScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-scalar loss accepted")
+		}
+	}()
+	NewTape().Backward(Param(tensor.New(2)))
+}
+
+func TestBackwardRejectsAbstract(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("abstract loss accepted")
+		}
+	}()
+	NewTape().Backward(NewVar(tensor.NewAbstract(1)))
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mmbench/internal/device"
+	"mmbench/internal/metrics"
+	"mmbench/internal/workloads"
+)
+
+func TestRunBasic(t *testing.T) {
+	res, err := BuildAndRun("avmnist", "concat", true, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency <= 0 {
+		t.Error("non-positive latency")
+	}
+	if len(res.Trace.Kernels) == 0 {
+		t.Error("no kernels recorded")
+	}
+	if res.Memory.ModelBytes <= 0 {
+		t.Error("no model memory")
+	}
+	if !res.Output.Value.Abstract() {
+		t.Error("analytic run produced concrete output")
+	}
+}
+
+func TestRunEager(t *testing.T) {
+	res, err := BuildAndRun("avmnist", "concat", false, RunOptions{Eager: true, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Value.Abstract() {
+		t.Error("eager run produced abstract output")
+	}
+	if res.Output.Value.MaxAbs() == 0 {
+		t.Error("eager run produced all-zero logits")
+	}
+}
+
+func TestRunIncludesEndToEndPipeline(t *testing.T) {
+	res, err := BuildAndRun("avmnist", "concat", true, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preprocess, gather, transfer bool
+	for _, h := range res.Trace.Hosts {
+		if strings.HasPrefix(h.Name, "load+preprocess:") {
+			preprocess = true
+		}
+		if strings.HasPrefix(h.Name, "gather:") {
+			gather = true
+		}
+	}
+	transfer = len(res.Trace.Transfers) >= 3 // 2 modalities in + 1 output out
+	if !preprocess || !gather || !transfer {
+		t.Errorf("end-to-end pipeline incomplete: preprocess=%v gather=%v transfer=%v",
+			preprocess, gather, transfer)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := BuildAndRun("nope", "concat", true, RunOptions{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestStageImbalance(t *testing.T) {
+	// Figure 6's headline: encoders dominate on encoder-heavy workloads.
+	res, err := BuildAndRun("mmimdb", "concat", true, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := metrics.StageTimes(res.Trace)
+	if st["encoder"] < 10*st["fusion"] {
+		t.Errorf("mmimdb encoder %e not ≫ fusion %e", st["encoder"], st["fusion"])
+	}
+}
+
+func TestHeavyFusionExceedsEncoder(t *testing.T) {
+	// Figure 6's counterpoint: transformer fusion on MuJoCo Push takes
+	// longer than the encoder stage.
+	res, err := BuildAndRun("push", "transformer", true, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := metrics.StageTimes(res.Trace)
+	if st["fusion"] <= st["encoder"] {
+		t.Errorf("push fusion %e not above encoder %e", st["fusion"], st["encoder"])
+	}
+}
+
+func TestMultiModalHigherCPUShare(t *testing.T) {
+	// Figure 11: multi-modal implementations have larger CPU+Runtime
+	// share than uni-modal ones.
+	for _, name := range []string{"avmnist", "push", "medseg", "vnt"} {
+		info, err := workloads.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uni, err := BuildAndRun(name, "uni:"+info.Major, true, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := BuildAndRun(name, info.Fusions[0], true, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		us, ms := metrics.HostShare(uni.Trace), metrics.HostShare(multi.Trace)
+		if ms <= us {
+			t.Errorf("%s: multi CPU share %f not above uni %f", name, ms, us)
+		}
+	}
+}
+
+func TestEdgeSlowerThanServer(t *testing.T) {
+	nano, err := BuildAndRun("avmnist", "concat", true, RunOptions{Device: device.JetsonNano()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := BuildAndRun("avmnist", "concat", true, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nano.Latency < 2*server.Latency {
+		t.Errorf("nano latency %e not well above server %e", nano.Latency, server.Latency)
+	}
+}
+
+func TestNanoCapacityInversion(t *testing.T) {
+	// Figure 14: per-task latency on the Nano stops improving at batch
+	// 320 because the allocator pool is exhausted.
+	lat := func(batch int) float64 {
+		r, err := BuildAndRun("avmnist", "concat", true, RunOptions{Device: device.JetsonNano(), BatchSize: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Latency / float64(batch)
+	}
+	l160, l320 := lat(160), lat(320)
+	if l320 <= l160 {
+		t.Errorf("nano per-task latency at b320 (%e) should exceed b160 (%e)", l320, l160)
+	}
+}
+
+func TestExperimentIDsAllRunnable(t *testing.T) {
+	// Every analytic experiment must run (training ones covered by the
+	// quick smoke below).
+	for _, id := range []string{"table1", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"} {
+		tables, err := RunExperiment(id, ExpConfig{Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", id)
+		}
+		for _, tab := range tables {
+			if len(tab.Rows) == 0 {
+				t.Errorf("%s: table %q has no rows", id, tab.Title)
+			}
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := RunExperiment("fig99", ExpConfig{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFig4QuickRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tables, err := RunExperiment("fig4", ExpConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) < 4 {
+		t.Fatalf("fig4 quick produced %d rows", len(tables[0].Rows))
+	}
+}
+
+func TestFig5QuickRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tables, err := RunExperiment("fig5", ExpConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 1 {
+		t.Fatalf("fig5 quick produced %d rows", len(tables[0].Rows))
+	}
+}

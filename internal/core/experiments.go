@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mmbench/internal/data"
+	"mmbench/internal/mmnet"
+	"mmbench/internal/ops"
+	"mmbench/internal/report"
+	"mmbench/internal/tensor"
+	"mmbench/internal/train"
+	"mmbench/internal/workloads"
+)
+
+// ExpConfig configures the experiment drivers.
+type ExpConfig struct {
+	// Train controls the training runs behind Figures 4 and 5.
+	Train train.Config
+	// Quick shrinks training and sweep sizes for smoke tests.
+	Quick bool
+}
+
+// DefaultExpConfig returns the configuration used by the reproduction
+// harness.
+func DefaultExpConfig() ExpConfig {
+	return ExpConfig{Train: train.DefaultConfig()}
+}
+
+func (c *ExpConfig) trainConfig() train.Config {
+	cfg := c.Train
+	if cfg.Epochs == 0 {
+		cfg = train.DefaultConfig()
+	}
+	if c.Quick {
+		cfg.Epochs, cfg.StepsPerEpoch, cfg.BatchSize = 2, 10, 16
+	}
+	return cfg
+}
+
+// tuneConfig adapts the base training schedule to the task: multi-label
+// BCE and segmentation losses have weaker per-step gradients and need more
+// of them.
+func tuneConfig(task data.Task, base train.Config) train.Config {
+	cfg := base
+	switch task {
+	case data.MultiLabel:
+		cfg.Epochs = max(cfg.Epochs, 2*base.Epochs)
+		cfg.LR = 3 * base.LR
+	case data.Segment:
+		cfg.Epochs = max(cfg.Epochs, base.Epochs+3)
+	}
+	return cfg
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ExperimentIDs lists every reproducible table and figure.
+func ExperimentIDs() []string {
+	return []string{
+		"table1", "table3",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+	}
+}
+
+// RunExperiment regenerates one table or figure of the paper.
+func RunExperiment(id string, cfg ExpConfig) ([]*report.Table, error) {
+	switch id {
+	case "table1":
+		return Table1(), nil
+	case "table3":
+		return Table3(), nil
+	case "fig4":
+		return Fig4(cfg)
+	case "fig5":
+		return Fig5(cfg)
+	case "fig6":
+		return Fig6()
+	case "fig7":
+		return Fig7()
+	case "fig8":
+		return Fig8()
+	case "fig9":
+		return Fig9()
+	case "fig10":
+		return Fig10()
+	case "fig11":
+		return Fig11()
+	case "fig12":
+		return Fig12()
+	case "fig13":
+		return Fig13()
+	case "fig14":
+		return Fig14()
+	case "fig15":
+		return Fig15()
+	}
+	return nil, fmt.Errorf("core: unknown experiment %q (want one of %v)", id, ExperimentIDs())
+}
+
+// Table1 reproduces the fusion-operator catalogue.
+func Table1() []*report.Table {
+	t := report.NewTable("Table 1: commonly used fusion operators", "Fusion type", "Formulation", "Meaning")
+	t.AddRow("Zero", "0", "Discards these features")
+	t.AddRow("Sum", "x + y", "Sum features")
+	t.AddRow("Concat", "ReLU(Concat(x,y)W + b)", "Concat features")
+	t.AddRow("Tensor", "x ⊗ y", "Outer product-based attention")
+	t.AddRow("Attention", "Softmax(xyT/√Cy)", "Use attention mechanism")
+	t.AddRow("LinearGLU", "xW1 ⊙ Sigmoid(yW2)", "Linear layer with the GLU")
+	t.AddRow("Transformer", "TransformerEnc(tokens)", "Multi-modal transformer fusion")
+	t.AddRow("LF", "LSTM(modality sequence)", "LSTM late fusion")
+	t.Note = "All operators implemented in internal/fusion; every one is runnable on every workload that lists it."
+	return []*report.Table{t}
+}
+
+// Table3 reproduces the workload characteristics table from the registry.
+func Table3() []*report.Table {
+	t := report.NewTable("Table 3: characteristics of each application in MMBench",
+		"Workload", "Domain", "Model size", "Modalities", "Encoders", "Fusion methods", "Task")
+	for _, name := range workloads.Names() {
+		info, err := workloads.Get(name)
+		if err != nil {
+			continue
+		}
+		t.AddRow(info.Name, info.Domain, info.ModelSize,
+			strings.Join(info.Modalities, ","), info.Encoders,
+			strings.Join(info.Fusions, ","), info.Task.String())
+	}
+	return []*report.Table{t}
+}
+
+// fig4Variants selects the variant set trained for Figure 4.
+func fig4Variants(info workloads.Info, quick bool) []string {
+	var vs []string
+	vs = append(vs, "uni:"+info.Major)
+	for _, m := range info.Modalities {
+		if m != info.Major {
+			vs = append(vs, "uni:"+m)
+			break // one minor baseline suffices
+		}
+	}
+	fusions := info.Fusions
+	if quick && len(fusions) > 2 {
+		fusions = fusions[:2]
+	}
+	return append(vs, fusions...)
+}
+
+// Fig4 reproduces the performance comparison: multi-modal variants beat the
+// best uni-modal baseline, and fusion choice causes several points of
+// variance.
+func Fig4(cfg ExpConfig) ([]*report.Table, error) {
+	tcfg := cfg.trainConfig()
+	names := workloads.Names()
+	if cfg.Quick {
+		names = []string{"avmnist"}
+	}
+	t := report.NewTable("Figure 4: performance of MMBench applications (synthetic planted data)",
+		"Workload", "Variant", "Metric", "Value")
+	t.Note = "Metrics: accuracy/micro-F1/DSC higher is better; MSE lower is better."
+	for _, name := range names {
+		info, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		wcfg := tuneConfig(info.Task, tcfg)
+		for _, variant := range fig4Variants(info, cfg.Quick) {
+			n, err := workloads.Build(name, variant, false, 42)
+			if err != nil {
+				return nil, err
+			}
+			res := train.Fit(n, wcfg)
+			t.AddRow(name, variant, train.MetricName(info.Task), report.F(res.Metric))
+		}
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig5 reproduces the mutually exclusive correct-sample distribution: most
+// correct samples are solvable from the major modality alone, and under 5%
+// require multi-modal fusion.
+func Fig5(cfg ExpConfig) ([]*report.Table, error) {
+	tcfg := cfg.trainConfig()
+	datasets := []string{"avmnist", "mmimdb", "mosei", "mustard"}
+	if cfg.Quick {
+		datasets = []string{"avmnist"}
+	}
+	t := report.NewTable("Figure 5: distribution of mutually exclusive correctly-processed sample sets",
+		"Workload", "Major modality", "Major-only", "Minor-only", "Fusion-required", "Unsolved")
+	for _, name := range datasets {
+		info, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		var minor string
+		for _, m := range info.Modalities {
+			if m != info.Major {
+				minor = m
+				break
+			}
+		}
+		major, err := workloads.Build(name, "uni:"+info.Major, false, 42)
+		if err != nil {
+			return nil, err
+		}
+		minorNet, err := workloads.Build(name, "uni:"+minor, false, 42)
+		if err != nil {
+			return nil, err
+		}
+		multi, err := workloads.Build(name, info.Fusions[0], false, 42)
+		if err != nil {
+			return nil, err
+		}
+		wcfg := tuneConfig(info.Task, tcfg)
+		train.Fit(major, wcfg)
+		train.Fit(minorNet, wcfg)
+		train.Fit(multi, wcfg)
+
+		evalN := 400
+		if cfg.Quick {
+			evalN = 120
+		}
+		b := multi.Gen.Batch(tensor.NewRNG(tcfg.Seed+31337), evalN)
+		majCorrect := correctSet(major, b)
+		minCorrect := correctSet(minorNet, b)
+		mulCorrect := correctSet(multi, b)
+
+		var onlyMajor, onlyMinor, fusionReq, unsolved int
+		for i := 0; i < evalN; i++ {
+			switch {
+			case majCorrect[i]:
+				onlyMajor++
+			case minCorrect[i]:
+				onlyMinor++
+			case mulCorrect[i]:
+				fusionReq++
+			default:
+				unsolved++
+			}
+		}
+		n := float64(evalN)
+		t.AddRow(name, info.Major,
+			report.Pct(float64(onlyMajor)/n), report.Pct(float64(onlyMinor)/n),
+			report.Pct(float64(fusionReq)/n), report.Pct(float64(unsolved)/n))
+	}
+	t.Note = "Paper: >75% of correct samples need only the major modality; <5% require fusion."
+	return []*report.Table{t}, nil
+}
+
+// correctSet evaluates a network over a batch and returns per-sample
+// correctness (classification-style argmax against the primary label).
+func correctSet(n *mmnet.Network, b *data.Batch) []bool {
+	out := n.Forward(ops.Infer(), b)
+	preds := train.Predictions(out)
+	correct := make([]bool, b.Size)
+	for i, p := range preds {
+		correct[i] = p == b.Labels[i]
+	}
+	return correct
+}
+
+// sortedStageNames returns stage keys in canonical encoder/fusion/head
+// order, dropping empty stages.
+func sortedStages[T any](m map[string]T) []string {
+	order := map[string]int{"encoder": 0, "fusion": 1, "head": 2}
+	var keys []string
+	for k := range m {
+		if k == "" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		oi, iok := order[keys[i]]
+		oj, jok := order[keys[j]]
+		if iok && jok {
+			return oi < oj
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

@@ -1,0 +1,125 @@
+// Package core is MMBench's suite runner: the end-to-end profiling
+// pipeline (Figure 3 of the paper) and the experiment drivers that
+// regenerate every table and figure of the evaluation section.
+package core
+
+import (
+	"fmt"
+
+	"mmbench/internal/data"
+	"mmbench/internal/device"
+	"mmbench/internal/memprof"
+	"mmbench/internal/mmnet"
+	"mmbench/internal/ops"
+	"mmbench/internal/tensor"
+	"mmbench/internal/trace"
+	"mmbench/internal/workloads"
+)
+
+// RunOptions configure one profiled run.
+type RunOptions struct {
+	// Device is the hardware profile; defaults to the RTX 2080 Ti server.
+	Device *device.Profile
+	// BatchSize defaults to 32.
+	BatchSize int
+	// Eager executes real numerics instead of the dataset-free analytic
+	// abstraction (slower; required only when outputs matter).
+	Eager bool
+	// Seed drives data generation in eager mode.
+	Seed int64
+}
+
+func (o *RunOptions) defaults() {
+	if o.Device == nil {
+		o.Device = device.RTX2080Ti()
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// RunResult is the outcome of one profiled inference.
+type RunResult struct {
+	Network *mmnet.Network
+	Trace   *trace.Trace
+	Memory  memprof.Profile
+	// Latency is the modeled end-to-end wall time including the
+	// device's memory-capacity penalty.
+	Latency float64
+	// Output is the task output (nil shapes in analytic mode).
+	Output *ops.Var
+}
+
+// Run profiles one inference of the network: host-side loading and
+// preprocessing per modality, host→device transfers, the three network
+// stages in per-modality streams with a fusion join, and the final
+// device→host copy.
+func Run(n *mmnet.Network, opts RunOptions) (*RunResult, error) {
+	opts.defaults()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+
+	builder := trace.NewBuilder(opts.Device, n.Modalities)
+
+	// Per-batch framework setup (data loader iteration, batch assembly)
+	// is shared across modalities — uni- and multi-modal variants pay it
+	// once.
+	builder.Host("batch_setup", 0, 0, 8)
+
+	// End-to-end input pipeline: every modality's raw capture is loaded,
+	// decoded/preprocessed on the CPU and copied to the device. The paper
+	// insists on including this (its end-to-end design principle).
+	for _, m := range n.Modalities {
+		spec, ok := n.Gen.SpecByName(m)
+		if !ok {
+			return nil, fmt.Errorf("core: modality %q missing from generator", m)
+		}
+		builder.SetScope(mmnet.StageEncoder, m)
+		raw := spec.RawBytes * int64(opts.BatchSize)
+		// Decode + normalize ≈ a few passes over the raw bytes.
+		builder.Host("load+preprocess:"+m, raw, 3*raw, 3)
+		var devBytes int64
+		if spec.Kind == data.Dense {
+			devBytes = int64(spec.ElemsPerSample()) * 4 * int64(opts.BatchSize)
+		} else {
+			devBytes = int64(spec.Shape[0]) * 4 * int64(opts.BatchSize)
+		}
+		builder.Transfer("h2d:"+m, devBytes)
+	}
+
+	var batch *data.Batch
+	if opts.Eager {
+		batch = n.Gen.Batch(tensor.NewRNG(opts.Seed), opts.BatchSize)
+	} else {
+		batch = n.Gen.AbstractBatch(opts.BatchSize)
+	}
+
+	c := &ops.Ctx{Rec: builder}
+	out := n.Forward(c, batch)
+
+	// Results return to the host.
+	builder.SetScope(mmnet.StageHead, "")
+	builder.Transfer("d2h:output", out.Value.Bytes())
+	builder.Host("postprocess", 0, out.Value.Bytes(), 1)
+	builder.SetScope("", "")
+
+	tr := builder.Finish()
+	mem := memprof.Measure(n, tr, opts.BatchSize)
+	latency := tr.Wall * opts.Device.CapacityPenalty(mem.AllocatorDemand())
+
+	return &RunResult{Network: n, Trace: tr, Memory: mem, Latency: latency, Output: out}, nil
+}
+
+// BuildAndRun is a convenience wrapper: build a workload variant and
+// profile it.
+func BuildAndRun(workload, variant string, profile bool, opts RunOptions) (*RunResult, error) {
+	n, err := workloads.Build(workload, variant, profile, 42)
+	if err != nil {
+		return nil, err
+	}
+	return Run(n, opts)
+}

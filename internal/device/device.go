@@ -1,0 +1,406 @@
+// Package device models the hardware platforms of the paper's evaluation:
+// an RTX 2080 Ti GPU server, a Jetson Nano and a Jetson Orin. The model is
+// analytic — a roofline cost model plus occupancy, cache, and stall
+// heuristics — standing in for the real GPUs and the Nsight profilers the
+// paper uses. Absolute numbers are therefore modeled rather than measured,
+// but the mechanisms that produce the paper's observations (stage imbalance,
+// memory- vs compute-bound behaviour, edge-device inversions) are the same.
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"mmbench/internal/kernels"
+)
+
+// StallReason is the paper's Figure 15 stall taxonomy.
+type StallReason int
+
+// Stall reasons in the order the paper reports them.
+const (
+	StallCache StallReason = iota // cache dependency
+	StallMem                      // memory dependency
+	StallExec                     // execution dependency
+	StallPipe                     // busy pipeline
+	StallSync                     // synchronization blocked
+	StallInst                     // instruction not fetched
+	StallElse                     // other
+	numStalls
+)
+
+// NumStalls is the number of stall categories.
+const NumStalls = int(numStalls)
+
+var stallNames = [...]string{"Cache", "Mem", "Exec", "Pipe", "Sync", "Inst.", "Else"}
+
+func (s StallReason) String() string {
+	if s < 0 || int(s) >= NumStalls {
+		return fmt.Sprintf("Stall(%d)", int(s))
+	}
+	return stallNames[s]
+}
+
+// StallWeights parameterizes how a device distributes stall cycles between
+// the memory-side reasons (Cache, Mem) and the compute-side reasons (Exec,
+// Pipe, Inst). Server-class GPUs stall mostly on memory; compute-starved
+// edge devices stall on execution dependencies and instruction fetch.
+type StallWeights struct {
+	CacheShare float64 // share of memory-bound stalls attributed to cache dependency
+	ExecShare  float64 // share of compute-bound stalls attributed to execution dependency
+	PipeShare  float64 // share of compute-bound stalls attributed to busy pipelines
+	InstShare  float64 // share of compute-bound stalls attributed to instruction fetch
+}
+
+// Profile describes one hardware platform.
+type Profile struct {
+	Name string
+
+	// GPU side.
+	SMs              int     // streaming multiprocessors
+	PeakGFLOPS       float64 // fp32 peak
+	DRAMBandwidthGBs float64
+	L2Bytes          int64
+	MaxThreadsPerSM  int
+	IssueWidth       float64 // peak instructions per cycle per SM
+	KernelLaunchUs   float64 // fixed launch overhead per kernel, microseconds
+
+	// Interconnect and memory system.
+	PCIeGBs     float64 // host↔device bandwidth; ignored when Unified
+	Unified     bool    // CPU and GPU share physical memory (Jetson)
+	MemCapacity int64   // physical device memory in bytes
+	// AllocPool is the memory actually available to the tensor allocator
+	// after OS, desktop, CUDA context and framework residency — the
+	// budget whose exhaustion produces the paper's Jetson Nano slowdown
+	// at batch 320. Zero means the full MemCapacity.
+	AllocPool int64
+
+	// Host (CPU + framework runtime) side.
+	HostGFLOPS float64
+	HostMemGBs float64
+	HostOpUs   float64 // framework/runtime overhead per host-side operation
+
+	// Per-kernel-class achievable fraction of peak compute.
+	ComputeEff [kernels.NumClasses]float64
+
+	Stalls StallWeights
+}
+
+// Validate reports whether the profile is usable.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("device: profile has no name")
+	case p.SMs <= 0 || p.PeakGFLOPS <= 0 || p.DRAMBandwidthGBs <= 0:
+		return fmt.Errorf("device %s: non-positive GPU capability", p.Name)
+	case p.MaxThreadsPerSM <= 0 || p.IssueWidth <= 0:
+		return fmt.Errorf("device %s: non-positive SM capability", p.Name)
+	case p.MemCapacity <= 0:
+		return fmt.Errorf("device %s: non-positive memory capacity", p.Name)
+	case p.HostGFLOPS <= 0 || p.HostMemGBs <= 0:
+		return fmt.Errorf("device %s: non-positive host capability", p.Name)
+	case !p.Unified && p.PCIeGBs <= 0:
+		return fmt.Errorf("device %s: discrete device needs PCIe bandwidth", p.Name)
+	}
+	for c, e := range p.ComputeEff {
+		if e <= 0 || e > 1 {
+			return fmt.Errorf("device %s: compute efficiency %f for %v outside (0,1]", p.Name, e, kernels.Class(c))
+		}
+	}
+	return nil
+}
+
+func defaultComputeEff() [kernels.NumClasses]float64 {
+	var e [kernels.NumClasses]float64
+	e[kernels.Conv] = 0.62
+	e[kernels.BNorm] = 0.30
+	e[kernels.Elewise] = 0.25
+	e[kernels.Pooling] = 0.25
+	e[kernels.Relu] = 0.25
+	e[kernels.Gemm] = 0.78
+	e[kernels.Reduce] = 0.20
+	e[kernels.Other] = 0.15
+	return e
+}
+
+// scaledComputeEff derates every class efficiency — edge GPUs with few SMs
+// and narrow schedulers achieve a smaller fraction of their nominal peak.
+func scaledComputeEff(factor float64) [kernels.NumClasses]float64 {
+	e := defaultComputeEff()
+	for i := range e {
+		e[i] *= factor
+	}
+	return e
+}
+
+// RTX2080Ti models the paper's GPU server accelerator (68 SMs, 13.4 TFLOPS
+// fp32, 616 GB/s GDDR6, 11 GB, PCIe 3.0 ×16) hosted by dual Xeon 6148.
+func RTX2080Ti() *Profile {
+	return &Profile{
+		Name:             "2080ti",
+		SMs:              68,
+		PeakGFLOPS:       13450,
+		DRAMBandwidthGBs: 616,
+		L2Bytes:          5.5 * 1024 * 1024,
+		MaxThreadsPerSM:  1024,
+		IssueWidth:       4,
+		KernelLaunchUs:   3.5,
+		PCIeGBs:          12,
+		MemCapacity:      11 << 30,
+		AllocPool:        10 << 30,
+		HostGFLOPS:       60,
+		HostMemGBs:       100,
+		HostOpUs:         25,
+		ComputeEff:       defaultComputeEff(),
+		Stalls:           StallWeights{CacheShare: 0.35, ExecShare: 0.45, PipeShare: 0.30, InstShare: 0.10},
+	}
+}
+
+// JetsonNano models the 128-core Maxwell edge board (4 GB LPDDR4 shared
+// between CPU and GPU).
+func JetsonNano() *Profile {
+	return &Profile{
+		Name:             "nano",
+		SMs:              1,
+		PeakGFLOPS:       236,
+		DRAMBandwidthGBs: 25.6,
+		L2Bytes:          256 * 1024,
+		MaxThreadsPerSM:  2048,
+		IssueWidth:       2,
+		KernelLaunchUs:   12,
+		Unified:          true,
+		MemCapacity:      4 << 30,
+		// The 4 GB board keeps only a thin slice for tensors once
+		// JetPack, the desktop, the CUDA context and the framework are
+		// resident (calibrated to reproduce the paper's batch-320
+		// inversion on AV-MNIST).
+		AllocPool:  160 << 20,
+		HostGFLOPS: 4,
+		HostMemGBs: 10,
+		HostOpUs:   110, // ARM A57 Python dispatch is ~4-5x slower than Xeon
+		ComputeEff: scaledComputeEff(0.42),
+		Stalls:     StallWeights{CacheShare: 0.20, ExecShare: 0.55, PipeShare: 0.15, InstShare: 0.30},
+	}
+}
+
+// JetsonOrin models the 2048-core Ampere edge board (32 GB LPDDR5).
+func JetsonOrin() *Profile {
+	return &Profile{
+		Name:             "orin",
+		SMs:              16,
+		PeakGFLOPS:       5300,
+		DRAMBandwidthGBs: 204.8,
+		L2Bytes:          4 * 1024 * 1024,
+		MaxThreadsPerSM:  1536,
+		IssueWidth:       4,
+		KernelLaunchUs:   6,
+		Unified:          true,
+		MemCapacity:      28 << 30,
+		AllocPool:        20 << 30,
+		HostGFLOPS:       30,
+		HostMemGBs:       50,
+		HostOpUs:         45,
+		ComputeEff:       scaledComputeEff(0.8),
+		Stalls:           StallWeights{CacheShare: 0.25, ExecShare: 0.50, PipeShare: 0.20, InstShare: 0.18},
+	}
+}
+
+// ByName returns the built-in profile with the given name.
+func ByName(name string) (*Profile, error) {
+	switch name {
+	case "2080ti", "server":
+		return RTX2080Ti(), nil
+	case "nano":
+		return JetsonNano(), nil
+	case "orin":
+		return JetsonOrin(), nil
+	}
+	return nil, fmt.Errorf("device: unknown profile %q (want 2080ti, nano or orin)", name)
+}
+
+// Profiles returns all built-in profiles.
+func Profiles() []*Profile {
+	return []*Profile{RTX2080Ti(), JetsonNano(), JetsonOrin()}
+}
+
+// Metrics is the modeled counterpart of an Nsight Compute per-kernel report.
+type Metrics struct {
+	Seconds    float64 // kernel duration
+	Occupancy  float64 // achieved occupancy in [0,1]
+	IPC        float64 // instructions per cycle per SM
+	DRAMUtil   float64 // achieved DRAM bandwidth / peak, in [0,1]
+	GldEff     float64 // global load efficiency
+	GstEff     float64 // global store efficiency
+	L1Hit      float64
+	L2Hit      float64
+	L2ReadHit  float64
+	L2WriteHit float64
+	// ReadTransactions is the modeled count of 32-byte DRAM read
+	// transactions (Figure 9 reports read transaction rates).
+	ReadTransactions int64
+	// Stalls is the modeled distribution of issue-stall cycles; entries
+	// sum to 1.
+	Stalls [NumStalls]float64
+	// MemBound is the fraction of kernel time attributable to the memory
+	// system (roofline diagnostic, not an Nsight metric).
+	MemBound float64
+}
+
+// Price models the execution of one kernel on the device.
+func (p *Profile) Price(s kernels.Spec) Metrics {
+	occ := p.occupancy(s.Threads)
+
+	// Cache model: the fraction of reads served by L2 grows as the
+	// working set fits in cache and shrinks for streaming kernels.
+	l2Hit := p.l2Hit(s)
+	effRead := float64(s.BytesRead) * (1 - 0.85*l2Hit)
+	effBytes := effRead + float64(s.BytesWritten)
+
+	// Roofline: compute and memory times, derated by occupancy when the
+	// kernel cannot fill the machine.
+	eff := p.ComputeEff[s.Class]
+	gpuFLOPS := p.PeakGFLOPS * 1e9 * eff * occDerate(occ)
+	bw := p.DRAMBandwidthGBs * 1e9 * (0.55 + 0.45*s.Coalesced) * occDerate(occ)
+	tCompute := float64(s.FLOPs) / gpuFLOPS
+	tMem := effBytes / bw
+	tBody := math.Max(tCompute, tMem)
+	t := tBody + p.KernelLaunchUs*1e-6
+
+	memBound := 0.0
+	if tCompute+tMem > 0 {
+		memBound = tMem / (tCompute + tMem)
+	}
+
+	// On unified-memory boards the CPU's loading, preprocessing and
+	// dispatch traffic contends on the same DRAM the GPU uses, keeping
+	// utilization high regardless of the kernel's own demand (the paper:
+	// "on edge devices with limited resources, DRAM utilization is almost
+	// always kept at the highest level").
+	dramBase := 0.0
+	if p.Unified {
+		dramBase = 0.55
+	}
+	m := Metrics{
+		Seconds:          t,
+		Occupancy:        occ,
+		IPC:              p.IssueWidth * eff * occDerate(occ) * (1 - 0.75*memBound),
+		DRAMUtil:         clamp01(dramBase + (1-dramBase)*(effBytes/t)/(p.DRAMBandwidthGBs*1e9)),
+		GldEff:           clamp01(0.55 + 0.45*s.Coalesced),
+		GstEff:           clamp01(0.6 + 0.4*s.Coalesced),
+		L1Hit:            clamp01(0.25 + 0.5*l2Hit),
+		L2Hit:            l2Hit,
+		L2ReadHit:        clamp01(l2Hit * 1.05),
+		L2WriteHit:       clamp01(l2Hit * 0.8),
+		ReadTransactions: int64(effRead / 32),
+		MemBound:         memBound,
+	}
+	m.Stalls = p.stallVector(memBound, occ)
+	return m
+}
+
+// occupancy models achieved occupancy from the kernel's logical thread
+// count: tiny kernels cannot fill the machine.
+func (p *Profile) occupancy(threads int64) float64 {
+	capacity := float64(p.SMs * p.MaxThreadsPerSM)
+	occ := float64(threads) / capacity
+	return clamp01(math.Max(occ, 0.02))
+}
+
+// occDerate converts occupancy into an achievable-throughput factor: low
+// occupancy cannot hide latency, so throughput falls off, but sub-linear
+// (a kernel at 25% occupancy still achieves well over 25% of peak).
+func occDerate(occ float64) float64 {
+	return clamp01(math.Pow(occ, 0.35))
+}
+
+func (p *Profile) l2Hit(s kernels.Spec) float64 {
+	if s.WorkingSet <= 0 {
+		// Streaming kernel: reuse comes from producer→consumer locality,
+		// which survives only while the stream fits in L2.
+		if s.BytesRead <= 0 {
+			return 0.18
+		}
+		ratio := float64(p.L2Bytes) / float64(s.BytesRead+p.L2Bytes)
+		return clamp01(0.15 + 0.6*ratio)
+	}
+	ratio := float64(p.L2Bytes) / float64(s.WorkingSet)
+	return clamp01(0.30 + 0.65*math.Min(1, ratio))
+}
+
+// stallVector distributes stall cycles according to the kernel's roofline
+// position and the device's stall bias.
+func (p *Profile) stallVector(memBound, occ float64) [NumStalls]float64 {
+	var v [NumStalls]float64
+	memStalls := memBound * 0.88
+	compStalls := (1 - memBound) * 0.88
+
+	v[StallCache] = memStalls * p.Stalls.CacheShare
+	v[StallMem] = memStalls * (1 - p.Stalls.CacheShare)
+	v[StallExec] = compStalls * p.Stalls.ExecShare
+	v[StallPipe] = compStalls * p.Stalls.PipeShare
+	v[StallInst] = compStalls * p.Stalls.InstShare
+
+	// Low occupancy leaves warps waiting at barriers.
+	v[StallSync] = 0.04 + 0.06*(1-occ)
+
+	total := 0.0
+	for _, x := range v {
+		total += x
+	}
+	v[StallElse] = math.Max(0, 1-total)
+	// Renormalize so shares sum to exactly 1.
+	total += v[StallElse]
+	for i := range v {
+		v[i] /= total
+	}
+	return v
+}
+
+// TransferSeconds models a host↔device copy of n bytes. On unified-memory
+// devices the copy is elided but the runtime still touches the pages.
+func (p *Profile) TransferSeconds(bytes int64) float64 {
+	if p.Unified {
+		return float64(bytes)/(p.HostMemGBs*1e9) + 2e-6
+	}
+	return float64(bytes)/(p.PCIeGBs*1e9) + 8e-6
+}
+
+// HostSeconds models a CPU-side segment performing the given FLOPs and
+// memory traffic across nOps framework-level operations (each op pays the
+// runtime dispatch overhead the paper's "CPU+Runtime" category captures).
+func (p *Profile) HostSeconds(flops, bytes int64, nOps int) float64 {
+	t := float64(flops)/(p.HostGFLOPS*1e9) + float64(bytes)/(p.HostMemGBs*1e9)
+	return t + float64(nOps)*p.HostOpUs*1e-6
+}
+
+// CapacityPenalty returns a slowdown multiplier (≥1) for a run whose peak
+// allocator demand approaches or exceeds the device's allocator pool. The
+// paper observes Jetson Nano latency rising again at batch 320 because
+// "certain resources are used up" — this is that mechanism.
+func (p *Profile) CapacityPenalty(peakBytes int64) float64 {
+	pool := p.AllocPool
+	if pool == 0 {
+		pool = p.MemCapacity
+	}
+	frac := float64(peakBytes) / float64(pool)
+	switch {
+	case frac <= 0.7:
+		return 1
+	case frac <= 1.0:
+		// Approaching capacity: allocator pressure and cache pollution.
+		return 1 + 1.5*(frac-0.7)
+	default:
+		// Over capacity: paging/thrash; grows quickly.
+		return 1.45 + 4.0*(frac-1.0)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

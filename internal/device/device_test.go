@@ -1,0 +1,248 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mmbench/internal/kernels"
+)
+
+func TestBuiltinProfilesValidate(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"2080ti", "server", "nano", "orin"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("tpu"); err == nil {
+		t.Error("ByName accepted unknown device")
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	p := RTX2080Ti()
+	p.SMs = 0
+	if err := p.Validate(); err == nil {
+		t.Error("validate accepted zero SMs")
+	}
+	p = RTX2080Ti()
+	p.ComputeEff[0] = 2
+	if err := p.Validate(); err == nil {
+		t.Error("validate accepted efficiency > 1")
+	}
+	p = RTX2080Ti()
+	p.PCIeGBs = 0
+	if err := p.Validate(); err == nil {
+		t.Error("validate accepted discrete device without PCIe")
+	}
+}
+
+func TestStallReasonString(t *testing.T) {
+	if StallCache.String() != "Cache" || StallInst.String() != "Inst." {
+		t.Errorf("stall names wrong: %v %v", StallCache, StallInst)
+	}
+	if StallReason(42).String() != "Stall(42)" {
+		t.Errorf("invalid stall formatting: %v", StallReason(42))
+	}
+}
+
+func TestPriceBasicSanity(t *testing.T) {
+	p := RTX2080Ti()
+	m := p.Price(kernels.GemmSpec("g", 512, 512, 512))
+	if m.Seconds <= 0 {
+		t.Fatal("non-positive kernel time")
+	}
+	if m.Occupancy <= 0 || m.Occupancy > 1 {
+		t.Fatalf("occupancy %f outside (0,1]", m.Occupancy)
+	}
+	if m.DRAMUtil < 0 || m.DRAMUtil > 1 {
+		t.Fatalf("DRAM util %f outside [0,1]", m.DRAMUtil)
+	}
+	if m.IPC <= 0 || m.IPC > p.IssueWidth {
+		t.Fatalf("IPC %f outside (0, %f]", m.IPC, p.IssueWidth)
+	}
+	var sum float64
+	for _, s := range m.Stalls {
+		if s < 0 {
+			t.Fatalf("negative stall share %f", s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("stall shares sum to %f, want 1", sum)
+	}
+}
+
+func TestComputeBoundVsMemoryBound(t *testing.T) {
+	p := RTX2080Ti()
+	gemm := p.Price(kernels.GemmSpec("g", 2048, 2048, 2048)) // high intensity
+	copyK := p.Price(kernels.CopySpec("c", 1<<22))           // zero intensity
+	if gemm.MemBound >= 0.5 {
+		t.Errorf("large GEMM modeled memory-bound (%f)", gemm.MemBound)
+	}
+	if copyK.MemBound <= 0.9 {
+		t.Errorf("copy kernel modeled compute-bound (%f)", copyK.MemBound)
+	}
+	if copyK.Stalls[StallMem] <= gemm.Stalls[StallMem] {
+		t.Error("memory-bound kernel should have more Mem stalls than GEMM")
+	}
+	if gemm.Stalls[StallExec] <= copyK.Stalls[StallExec] {
+		t.Error("compute-bound kernel should have more Exec stalls than copy")
+	}
+}
+
+func TestEdgeDeviceSlower(t *testing.T) {
+	spec := kernels.Conv2DSpec("c", 8, 64, 28, 28, 128, 3, 3)
+	server := RTX2080Ti().Price(spec)
+	nano := JetsonNano().Price(spec)
+	orin := JetsonOrin().Price(spec)
+	if nano.Seconds <= server.Seconds {
+		t.Errorf("nano (%e s) not slower than server (%e s)", nano.Seconds, server.Seconds)
+	}
+	if nano.Seconds <= orin.Seconds {
+		t.Errorf("nano (%e s) not slower than orin (%e s)", nano.Seconds, orin.Seconds)
+	}
+	// The paper reports ≈6.5× for AV-MNIST; a single conv should be at
+	// least several times slower on nano.
+	if nano.Seconds/server.Seconds < 3 {
+		t.Errorf("nano/server ratio %f implausibly small", nano.Seconds/server.Seconds)
+	}
+}
+
+func TestEdgeStallShiftsToExecInst(t *testing.T) {
+	spec := kernels.Conv2DSpec("c", 4, 32, 28, 28, 64, 3, 3)
+	server := RTX2080Ti().Price(spec)
+	nano := JetsonNano().Price(spec)
+	serverExecInst := server.Stalls[StallExec] + server.Stalls[StallInst]
+	nanoExecInst := nano.Stalls[StallExec] + nano.Stalls[StallInst]
+	if nanoExecInst <= serverExecInst {
+		t.Errorf("edge Exec+Inst stalls (%f) not above server (%f)", nanoExecInst, serverExecInst)
+	}
+}
+
+func TestSmallKernelLowOccupancy(t *testing.T) {
+	p := RTX2080Ti()
+	small := p.Price(kernels.ElewiseSpec("e", 256, 1, 1))
+	big := p.Price(kernels.ElewiseSpec("e", 1<<22, 1, 1))
+	if small.Occupancy >= big.Occupancy {
+		t.Errorf("small kernel occupancy %f >= big %f", small.Occupancy, big.Occupancy)
+	}
+}
+
+func TestLaunchOverheadDominatesSmallKernels(t *testing.T) {
+	p := RTX2080Ti()
+	tiny := p.Price(kernels.ElewiseSpec("e", 8, 1, 1))
+	if tiny.Seconds < p.KernelLaunchUs*1e-6 {
+		t.Errorf("tiny kernel time %e below launch overhead", tiny.Seconds)
+	}
+	if tiny.Seconds > 3*p.KernelLaunchUs*1e-6 {
+		t.Errorf("tiny kernel time %e should be launch dominated", tiny.Seconds)
+	}
+}
+
+func TestTransferSeconds(t *testing.T) {
+	server := RTX2080Ti()
+	nano := JetsonNano()
+	n := int64(100 << 20)
+	ts := server.TransferSeconds(n)
+	want := float64(n) / (server.PCIeGBs * 1e9)
+	if ts < want {
+		t.Errorf("transfer %e faster than PCIe allows %e", ts, want)
+	}
+	// Unified memory avoids the PCIe copy: cost is only the host-memory
+	// page touch, not an extra interconnect trip.
+	nt := nano.TransferSeconds(n)
+	touch := float64(n) / (nano.HostMemGBs * 1e9)
+	if nt > touch*1.01+1e-5 {
+		t.Errorf("unified transfer %e exceeds page-touch cost %e", nt, touch)
+	}
+}
+
+func TestHostSecondsIncludesRuntimeOverhead(t *testing.T) {
+	p := RTX2080Ti()
+	base := p.HostSeconds(0, 0, 1)
+	if base < p.HostOpUs*1e-6 {
+		t.Errorf("host op %e below runtime overhead", base)
+	}
+	ten := p.HostSeconds(0, 0, 10)
+	if ten <= base {
+		t.Error("more host ops must cost more")
+	}
+}
+
+func TestCapacityPenalty(t *testing.T) {
+	p := JetsonNano()
+	if got := p.CapacityPenalty(p.AllocPool / 2); got != 1 {
+		t.Errorf("half-pool penalty %f, want 1", got)
+	}
+	near := p.CapacityPenalty(int64(0.95 * float64(p.AllocPool)))
+	over := p.CapacityPenalty(2 * p.AllocPool)
+	if near <= 1 {
+		t.Errorf("near-capacity penalty %f, want > 1", near)
+	}
+	if over <= near {
+		t.Errorf("over-capacity penalty %f not above near-capacity %f", over, near)
+	}
+	// Zero pool falls back to physical capacity.
+	q := RTX2080Ti()
+	q.AllocPool = 0
+	if got := q.CapacityPenalty(q.MemCapacity / 2); got != 1 {
+		t.Errorf("fallback penalty %f, want 1", got)
+	}
+}
+
+// Property: kernel time is monotone in FLOPs for a fixed class.
+func TestPriceMonotoneInFlopsProperty(t *testing.T) {
+	p := RTX2080Ti()
+	f := func(a uint16) bool {
+		n := int(a%2000) + 64
+		s1 := kernels.GemmSpec("g", n, n, n)
+		s2 := kernels.GemmSpec("g", 2*n, n, n)
+		return p.Price(s2).Seconds >= p.Price(s1).Seconds
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: metrics stay within physical bounds for arbitrary specs.
+func TestPriceBoundsProperty(t *testing.T) {
+	p := JetsonOrin()
+	f := func(fl, br, bw uint32, th uint16) bool {
+		s := kernels.Spec{
+			Name:         "x",
+			Class:        kernels.Class(int(fl) % kernels.NumClasses),
+			FLOPs:        int64(fl),
+			BytesRead:    int64(br),
+			BytesWritten: int64(bw),
+			Threads:      int64(th) + 1,
+			Coalesced:    0.8,
+		}
+		m := p.Price(s)
+		if m.Seconds <= 0 || m.Occupancy <= 0 || m.Occupancy > 1 {
+			return false
+		}
+		if m.DRAMUtil < 0 || m.DRAMUtil > 1 || m.GldEff < 0 || m.GldEff > 1 {
+			return false
+		}
+		var sum float64
+		for _, st := range m.Stalls {
+			if st < 0 {
+				return false
+			}
+			sum += st
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package fusion
+
+import (
+	"testing"
+
+	"mmbench/internal/autograd"
+	"mmbench/internal/ops"
+	"mmbench/internal/tensor"
+)
+
+func feats(g *tensor.RNG, b int, dims ...int) []*ops.Var {
+	out := make([]*ops.Var, len(dims))
+	for i, d := range dims {
+		t := tensor.New(b, d)
+		g.Uniform(t, -1, 1)
+		out[i] = autograd.NewVar(t)
+	}
+	return out
+}
+
+func abstractFeats(b int, dims ...int) []*ops.Var {
+	out := make([]*ops.Var, len(dims))
+	for i, d := range dims {
+		out[i] = autograd.NewVar(tensor.NewAbstract(b, d))
+	}
+	return out
+}
+
+func TestAllMethodsProduceOutDim(t *testing.T) {
+	g := tensor.NewRNG(1)
+	for _, method := range Methods() {
+		for _, dims := range [][]int{{16, 24}, {16, 24, 12}} {
+			f, err := New(method, g.Split(7), dims, 32)
+			if err != nil {
+				t.Fatalf("%s: %v", method, err)
+			}
+			if f.Name() != method {
+				t.Errorf("%s: Name() = %q", method, f.Name())
+			}
+			if f.OutDim() != 32 {
+				t.Errorf("%s: OutDim() = %d", method, f.OutDim())
+			}
+			out := f.Fuse(ops.Infer(), feats(g, 3, dims...))
+			if s := out.Value.Shape(); s[0] != 3 || s[1] != 32 {
+				t.Errorf("%s dims %v: fused shape %v, want [3 32]", method, dims, s)
+			}
+		}
+	}
+}
+
+func TestAllMethodsAbstract(t *testing.T) {
+	g := tensor.NewRNG(2)
+	for _, method := range Methods() {
+		f, err := New(method, g.Split(3), []int{8, 8}, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := f.Fuse(ops.Infer(), abstractFeats(2, 8, 8))
+		if !out.Value.Abstract() {
+			t.Errorf("%s: abstract inputs produced concrete output", method)
+		}
+		if s := out.Value.Shape(); s[0] != 2 || s[1] != 16 {
+			t.Errorf("%s: abstract shape %v", method, s)
+		}
+	}
+}
+
+func TestNewRejectsBadArgs(t *testing.T) {
+	g := tensor.NewRNG(3)
+	if _, err := New("nope", g, []int{4}, 8); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if _, err := New("concat", g, nil, 8); err == nil {
+		t.Error("empty modality list accepted")
+	}
+	if _, err := New("concat", g, []int{4}, 0); err == nil {
+		t.Error("zero out dim accepted")
+	}
+}
+
+func TestZeroFusionDiscardsInformation(t *testing.T) {
+	g := tensor.NewRNG(4)
+	f := NewZero(16)
+	out := f.Fuse(ops.Infer(), feats(g, 2, 8, 8))
+	for _, v := range out.Value.Data() {
+		if v != 0 {
+			t.Fatalf("zero fusion emitted %v", v)
+		}
+	}
+	if len(f.Params()) != 0 {
+		t.Fatal("zero fusion has parameters")
+	}
+}
+
+func TestSumFusionLinearity(t *testing.T) {
+	g := tensor.NewRNG(5)
+	f := NewSum(g, []int{4, 4}, 8)
+	fs := feats(g, 1, 4, 4)
+	out1 := f.Fuse(ops.Infer(), fs)
+	// Doubling both inputs doubles the projection part; the bias stays,
+	// so out2 - out1 = out1 - bias ⇒ out2 = 2·out1 - bias.
+	for _, fv := range fs {
+		for i, v := range fv.Value.Data() {
+			fv.Value.Data()[i] = 2 * v
+		}
+	}
+	out2 := f.Fuse(ops.Infer(), fs)
+	// With zero bias at init... biases are zero-initialized, so exact
+	// doubling should hold.
+	for i := range out1.Value.Data() {
+		got := out2.Value.Data()[i]
+		want := 2 * out1.Value.Data()[i]
+		if diff := got - want; diff > 1e-4 || diff < -1e-4 {
+			t.Fatalf("sum fusion not linear: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestTensorFusionGradientsFlow(t *testing.T) {
+	g := tensor.NewRNG(6)
+	for _, dims := range [][]int{{6, 5}, {6, 5, 4}} {
+		f := NewTensor(g, dims, 8)
+		tape := autograd.NewTape()
+		c := &ops.Ctx{Tape: tape}
+		in := make([]*ops.Var, len(dims))
+		for i, d := range dims {
+			tt := tensor.New(2, d)
+			g.Uniform(tt, -1, 1)
+			in[i] = autograd.Param(tt)
+		}
+		out := f.Fuse(c, in)
+		loss := c.MeanAll(c.Mul(out, out))
+		tape.Backward(loss)
+		for i, v := range in {
+			if v.Grad == nil || v.Grad.MaxAbs() == 0 {
+				t.Errorf("dims %v: modality %d got no gradient", dims, i)
+			}
+		}
+	}
+}
+
+func TestGLUGating(t *testing.T) {
+	g := tensor.NewRNG(7)
+	f := NewGLU(g, []int{4, 4}, 8)
+	fs := feats(g, 2, 4, 4)
+	out := f.Fuse(ops.Infer(), fs)
+	if s := out.Value.Shape(); s[0] != 2 || s[1] != 8 {
+		t.Fatalf("glu shape %v", s)
+	}
+}
+
+func TestTransformerFusionDepth(t *testing.T) {
+	g := tensor.NewRNG(8)
+	f := NewTransformer(g, []int{8, 8, 8}, 16, 3)
+	if len(f.enc.Layers) != 3 {
+		t.Fatalf("transformer fusion depth %d", len(f.enc.Layers))
+	}
+	out := f.Fuse(ops.Infer(), feats(g, 2, 8, 8, 8))
+	if s := out.Value.Shape(); s[1] != 16 {
+		t.Fatalf("transformer fusion shape %v", s)
+	}
+}
+
+func TestFusionParamCounts(t *testing.T) {
+	g := tensor.NewRNG(9)
+	for _, method := range Methods() {
+		f, err := New(method, g, []int{8, 8}, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(f.Params())
+		if method == "zero" {
+			if n != 0 {
+				t.Errorf("zero fusion has %d params", n)
+			}
+			continue
+		}
+		if n == 0 {
+			t.Errorf("%s fusion has no params", method)
+		}
+	}
+}
+
+func TestCheckFeatsPanics(t *testing.T) {
+	g := tensor.NewRNG(10)
+	f := NewConcat(g, []int{4, 4}, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong modality count did not panic")
+		}
+	}()
+	f.Fuse(ops.Infer(), feats(g, 1, 4))
+}

@@ -1,0 +1,261 @@
+// Package kernels defines the device-independent description of the GPU
+// kernels a DNN operator lowers to. Every operator in internal/ops emits one
+// or more KernelSpecs; the device model in internal/device prices a spec on
+// a concrete device (time, occupancy, IPC, DRAM utilization, stall vector).
+//
+// The eight kernel classes mirror the taxonomy of the paper's Figure 8
+// (Conv, BNorm, Elewise, Pooling, Relu, Gemm, Reduce, Other).
+package kernels
+
+import "fmt"
+
+// Class is the paper's GPU kernel taxonomy.
+type Class int
+
+// Kernel classes in the order the paper's Figure 8 reports them.
+const (
+	Conv Class = iota
+	BNorm
+	Elewise
+	Pooling
+	Relu
+	Gemm
+	Reduce
+	Other
+	numClasses
+)
+
+// NumClasses is the number of kernel classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{"Conv", "BNorm", "Elewise", "Pooling", "Relu", "Gemm", "Reduce", "Other"}
+
+func (c Class) String() string {
+	if c < 0 || int(c) >= NumClasses {
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// Classes returns all kernel classes in report order.
+func Classes() []Class {
+	out := make([]Class, NumClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// Spec describes one kernel launch independent of any device.
+type Spec struct {
+	// Name identifies the originating operator, e.g. "conv2d_3x3" or
+	// "gemm_512x512x64".
+	Name string
+	// Class is the kernel taxonomy bucket.
+	Class Class
+	// FLOPs is the number of floating point operations performed.
+	FLOPs int64
+	// BytesRead and BytesWritten are the DRAM traffic assuming a cold
+	// cache; the device model discounts reads by its cache hit model.
+	BytesRead    int64
+	BytesWritten int64
+	// Threads is the logical parallelism (one thread per output element
+	// for most kernels); it drives the occupancy model.
+	Threads int64
+	// WorkingSet is the number of bytes the kernel touches repeatedly
+	// (e.g. a GEMM tile); it drives the cache hit model.
+	WorkingSet int64
+	// Coalesced is the fraction of global loads/stores that are fully
+	// coalesced; it drives the gld/gst efficiency metrics.
+	Coalesced float64
+}
+
+// Bytes returns total DRAM traffic (read + written).
+func (s Spec) Bytes() int64 { return s.BytesRead + s.BytesWritten }
+
+// Intensity returns arithmetic intensity in FLOPs per byte. Kernels that
+// move data without math (copies, concat) have intensity 0.
+func (s Spec) Intensity() float64 {
+	b := s.Bytes()
+	if b == 0 {
+		return 0
+	}
+	return float64(s.FLOPs) / float64(b)
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("kernels: spec has empty name")
+	case s.Class < 0 || int(s.Class) >= NumClasses:
+		return fmt.Errorf("kernels: spec %q has invalid class %d", s.Name, int(s.Class))
+	case s.FLOPs < 0 || s.BytesRead < 0 || s.BytesWritten < 0:
+		return fmt.Errorf("kernels: spec %q has negative cost", s.Name)
+	case s.Threads <= 0:
+		return fmt.Errorf("kernels: spec %q has non-positive threads", s.Name)
+	case s.Coalesced < 0 || s.Coalesced > 1:
+		return fmt.Errorf("kernels: spec %q has coalesced fraction %f outside [0,1]", s.Name, s.Coalesced)
+	}
+	return nil
+}
+
+const f32 = 4 // bytes per float32
+
+// GemmSpec describes a dense matrix multiply C[m×n] = A[m×k] · B[k×n].
+func GemmSpec(name string, m, k, n int) Spec {
+	mm, kk, nn := int64(m), int64(k), int64(n)
+	return Spec{
+		Name:         name,
+		Class:        Gemm,
+		FLOPs:        2 * mm * kk * nn,
+		BytesRead:    (mm*kk + kk*nn) * f32,
+		BytesWritten: mm * nn * f32,
+		Threads:      mm * nn,
+		WorkingSet:   (64*kk + kk*64) * f32, // one 64×64 output tile's operands
+		Coalesced:    0.92,
+	}
+}
+
+// Conv2DSpec describes a 2-D convolution over an N×C×H×W input with OutC
+// filters of size KH×KW producing an N×OutC×OH×OW output.
+func Conv2DSpec(name string, n, c, oh, ow, outC, kh, kw int) Spec {
+	outElems := int64(n) * int64(outC) * int64(oh) * int64(ow)
+	macs := outElems * int64(c) * int64(kh) * int64(kw)
+	inBytes := int64(n) * int64(c) * int64(oh) * int64(ow) * f32 // approx: each input reused via smem
+	wBytes := int64(outC) * int64(c) * int64(kh) * int64(kw) * f32
+	return Spec{
+		Name:         name,
+		Class:        Conv,
+		FLOPs:        2 * macs,
+		BytesRead:    inBytes + wBytes,
+		BytesWritten: outElems * f32,
+		Threads:      outElems,
+		WorkingSet:   wBytes + int64(c)*int64(kh+8)*int64(kw+8)*f32,
+		Coalesced:    0.85,
+	}
+}
+
+// ElewiseSpec describes an element-wise kernel over n elements reading the
+// given number of input operands.
+func ElewiseSpec(name string, n int, inputs int, flopsPerElem int) Spec {
+	nn := int64(n)
+	return Spec{
+		Name:         name,
+		Class:        Elewise,
+		FLOPs:        nn * int64(flopsPerElem),
+		BytesRead:    nn * int64(inputs) * f32,
+		BytesWritten: nn * f32,
+		Threads:      nn,
+		WorkingSet:   0,
+		Coalesced:    1.0,
+	}
+}
+
+// ReluSpec describes an activation kernel over n elements. The paper tracks
+// ReLU-family activations as their own class.
+func ReluSpec(name string, n int) Spec {
+	s := ElewiseSpec(name, n, 1, 1)
+	s.Class = Relu
+	return s
+}
+
+// PoolingSpec describes a pooling kernel producing n output elements from
+// window×window regions.
+func PoolingSpec(name string, nOut int, window int) Spec {
+	nn := int64(nOut)
+	w2 := int64(window) * int64(window)
+	return Spec{
+		Name:         name,
+		Class:        Pooling,
+		FLOPs:        nn * w2,
+		BytesRead:    nn * w2 * f32,
+		BytesWritten: nn * f32,
+		Threads:      nn,
+		WorkingSet:   0,
+		Coalesced:    0.8,
+	}
+}
+
+// BNormSpec describes a batch/layer normalization kernel over n elements.
+func BNormSpec(name string, n int) Spec {
+	nn := int64(n)
+	return Spec{
+		Name:         name,
+		Class:        BNorm,
+		FLOPs:        nn * 6, // subtract mean, scale by inv-std, affine
+		BytesRead:    nn * 2 * f32,
+		BytesWritten: nn * f32,
+		Threads:      nn,
+		WorkingSet:   0,
+		Coalesced:    0.95,
+	}
+}
+
+// ReduceSpec describes a reduction of n input elements to nOut outputs.
+func ReduceSpec(name string, n, nOut int) Spec {
+	nn := int64(n)
+	return Spec{
+		Name:         name,
+		Class:        Reduce,
+		FLOPs:        nn,
+		BytesRead:    nn * f32,
+		BytesWritten: int64(nOut) * f32,
+		Threads:      maxI64(int64(nOut), nn/32),
+		WorkingSet:   0,
+		Coalesced:    0.7,
+	}
+}
+
+// CopySpec describes a pure data-movement kernel (concat, transpose, slice,
+// reshape materialization) over n elements.
+func CopySpec(name string, n int) Spec {
+	nn := int64(n)
+	return Spec{
+		Name:         name,
+		Class:        Other,
+		FLOPs:        0,
+		BytesRead:    nn * f32,
+		BytesWritten: nn * f32,
+		Threads:      nn,
+		WorkingSet:   0,
+		Coalesced:    0.75,
+	}
+}
+
+// SoftmaxSpec describes a fused softmax over rows×cols (max, exp, sum, div).
+func SoftmaxSpec(name string, rows, cols int) Spec {
+	n := int64(rows) * int64(cols)
+	return Spec{
+		Name:         name,
+		Class:        Other,
+		FLOPs:        n * 5,
+		BytesRead:    n * 2 * f32,
+		BytesWritten: n * f32,
+		Threads:      n,
+		WorkingSet:   int64(cols) * f32,
+		Coalesced:    0.9,
+	}
+}
+
+// EmbeddingSpec describes an embedding gather of n tokens with dim-wide rows.
+func EmbeddingSpec(name string, nTokens, dim int) Spec {
+	n := int64(nTokens) * int64(dim)
+	return Spec{
+		Name:         name,
+		Class:        Other,
+		FLOPs:        0,
+		BytesRead:    n * f32,
+		BytesWritten: n * f32,
+		Threads:      n,
+		WorkingSet:   0,
+		Coalesced:    0.5, // gathers are scattered reads
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

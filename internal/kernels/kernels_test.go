@@ -1,0 +1,157 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		Conv: "Conv", BNorm: "BNorm", Elewise: "Elewise", Pooling: "Pooling",
+		Relu: "Relu", Gemm: "Gemm", Reduce: "Reduce", Other: "Other",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Errorf("invalid class formatting: %q", Class(99).String())
+	}
+}
+
+func TestClassesOrder(t *testing.T) {
+	cs := Classes()
+	if len(cs) != NumClasses {
+		t.Fatalf("Classes() returned %d entries, want %d", len(cs), NumClasses)
+	}
+	if cs[0] != Conv || cs[NumClasses-1] != Other {
+		t.Fatalf("Classes() order wrong: %v", cs)
+	}
+}
+
+func TestGemmSpecCosts(t *testing.T) {
+	s := GemmSpec("g", 10, 20, 30)
+	if s.FLOPs != 2*10*20*30 {
+		t.Errorf("FLOPs = %d", s.FLOPs)
+	}
+	if s.BytesRead != (10*20+20*30)*4 {
+		t.Errorf("BytesRead = %d", s.BytesRead)
+	}
+	if s.BytesWritten != 10*30*4 {
+		t.Errorf("BytesWritten = %d", s.BytesWritten)
+	}
+	if s.Threads != 300 {
+		t.Errorf("Threads = %d", s.Threads)
+	}
+	if s.Class != Gemm {
+		t.Errorf("Class = %v", s.Class)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestConv2DSpecCosts(t *testing.T) {
+	s := Conv2DSpec("c", 2, 3, 8, 8, 16, 3, 3)
+	outElems := int64(2 * 16 * 8 * 8)
+	if s.FLOPs != 2*outElems*3*3*3 {
+		t.Errorf("FLOPs = %d", s.FLOPs)
+	}
+	if s.Threads != outElems {
+		t.Errorf("Threads = %d", s.Threads)
+	}
+	if s.Class != Conv {
+		t.Errorf("Class = %v", s.Class)
+	}
+}
+
+func TestIntensity(t *testing.T) {
+	s := GemmSpec("g", 100, 100, 100)
+	if s.Intensity() <= 1 {
+		t.Errorf("large GEMM intensity %f should exceed 1 FLOP/byte", s.Intensity())
+	}
+	c := CopySpec("copy", 1000)
+	if c.Intensity() != 0 {
+		t.Errorf("copy intensity = %f, want 0", c.Intensity())
+	}
+	if (Spec{Name: "x", Threads: 1}).Intensity() != 0 {
+		t.Error("zero-byte spec should have zero intensity")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Name: "", Threads: 1},
+		{Name: "x", Class: Class(-1), Threads: 1},
+		{Name: "x", FLOPs: -1, Threads: 1},
+		{Name: "x", Threads: 0},
+		{Name: "x", Threads: 1, Coalesced: 1.5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid spec %+v", i, s)
+		}
+	}
+}
+
+func TestSpecClassesAssignedByConstructors(t *testing.T) {
+	checks := []struct {
+		spec Spec
+		want Class
+	}{
+		{ElewiseSpec("e", 10, 2, 1), Elewise},
+		{ReluSpec("r", 10), Relu},
+		{PoolingSpec("p", 10, 2), Pooling},
+		{BNormSpec("b", 10), BNorm},
+		{ReduceSpec("red", 100, 1), Reduce},
+		{CopySpec("cp", 10), Other},
+		{SoftmaxSpec("s", 4, 8), Other},
+		{EmbeddingSpec("emb", 16, 64), Other},
+	}
+	for _, c := range checks {
+		if c.spec.Class != c.want {
+			t.Errorf("%s: class %v, want %v", c.spec.Name, c.spec.Class, c.want)
+		}
+		if err := c.spec.Validate(); err != nil {
+			t.Errorf("%s: %v", c.spec.Name, err)
+		}
+	}
+}
+
+// Property: all constructor-produced specs validate and have non-negative
+// monotone costs in their size arguments.
+func TestSpecMonotonicityProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		n1, n2 := int(a%200)+1, int(a%200)+1+int(b%200)+1
+		small := ElewiseSpec("e", n1, 2, 2)
+		large := ElewiseSpec("e", n2, 2, 2)
+		if small.Validate() != nil || large.Validate() != nil {
+			return false
+		}
+		return large.FLOPs >= small.FLOPs && large.Bytes() >= small.Bytes() && large.Threads >= small.Threads
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GEMM FLOPs scale linearly in each dimension.
+func TestGemmLinearScalingProperty(t *testing.T) {
+	f := func(m, k, n uint8) bool {
+		mi, ki, ni := int(m%30)+1, int(k%30)+1, int(n%30)+1
+		s1 := GemmSpec("g", mi, ki, ni)
+		s2 := GemmSpec("g", 2*mi, ki, ni)
+		return s2.FLOPs == 2*s1.FLOPs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceThreadsPositive(t *testing.T) {
+	s := ReduceSpec("r", 5, 1)
+	if s.Threads <= 0 {
+		t.Fatalf("tiny reduce must keep positive threads, got %d", s.Threads)
+	}
+}

@@ -1,0 +1,67 @@
+// Package memprof models peak memory by category — model parameters,
+// dataset batch, and intermediate activations — the decomposition of the
+// paper's Figure 13 (built there with the Python memory profiler).
+package memprof
+
+import (
+	"mmbench/internal/data"
+	"mmbench/internal/mmnet"
+	"mmbench/internal/trace"
+)
+
+// Profile is the peak-memory decomposition of one run.
+type Profile struct {
+	ModelBytes        int64
+	DatasetBytes      int64
+	IntermediateBytes int64
+}
+
+// Total returns the summed peak footprint.
+func (p Profile) Total() int64 {
+	return p.ModelBytes + p.DatasetBytes + p.IntermediateBytes
+}
+
+// WorkspaceFactor scales raw intermediate activation bytes up to the
+// allocator demand an eager framework actually exerts: allocation-size
+// rounding, cuDNN/cuBLAS workspace buffers and temporary double-buffering
+// make the allocator hold several times the live activation bytes.
+const WorkspaceFactor = 4
+
+// AllocatorDemand returns the modeled peak allocator demand, the quantity
+// compared against a device's AllocPool for capacity-pressure penalties.
+func (p Profile) AllocatorDemand() int64 {
+	return p.ModelBytes + p.DatasetBytes + WorkspaceFactor*p.IntermediateBytes
+}
+
+// MB converts bytes to mebibytes.
+func MB(b int64) float64 { return float64(b) / (1 << 20) }
+
+// BatchBytes returns the on-device footprint of one input batch: dense
+// modalities at 4 bytes per element, token modalities at 4 bytes per id.
+func BatchBytes(gen *data.Generator, batch int) int64 {
+	var total int64
+	for _, spec := range gen.Specs {
+		if spec.Kind == data.Dense {
+			total += int64(batch) * int64(spec.ElemsPerSample()) * 4
+		} else {
+			total += int64(batch) * int64(spec.Shape[0]) * 4
+		}
+	}
+	return total
+}
+
+// Measure decomposes peak memory for a completed trace of the given
+// network and batch size. Intermediate memory is the sum of activation
+// bytes written by every kernel — the eager-framework behaviour the paper
+// measures, where a forward pass retains its activations.
+func Measure(n *mmnet.Network, t *trace.Trace, batch int) Profile {
+	var inter int64
+	for _, k := range t.Kernels {
+		inter += k.Spec.BytesWritten
+	}
+	return Profile{
+		ModelBytes:        n.ParamBytes(),
+		DatasetBytes:      BatchBytes(n.Gen, batch),
+		IntermediateBytes: inter,
+	}
+}

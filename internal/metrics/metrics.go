@@ -1,0 +1,205 @@
+// Package metrics aggregates modeled traces into the report structures the
+// paper's figures are built from: per-stage times and micro-architecture
+// summaries (Figures 6, 7), kernel class breakdowns (Figure 8), hotspot
+// kernel queries (Figure 9), per-modality times (Figure 10), CPU-vs-GPU
+// proportions (Figure 11), kernel-size histograms (Figure 12) and stall
+// breakdowns (Figure 15).
+package metrics
+
+import (
+	"mmbench/internal/device"
+	"mmbench/internal/kernels"
+	"mmbench/internal/trace"
+)
+
+// StageTimes returns total kernel seconds per stage.
+func StageTimes(t *trace.Trace) map[string]float64 {
+	out := make(map[string]float64)
+	for _, k := range t.Kernels {
+		out[k.Stage] += k.Metrics.Seconds
+	}
+	return out
+}
+
+// ModalityTimes returns total encoder-stage kernel seconds per modality.
+func ModalityTimes(t *trace.Trace) map[string]float64 {
+	out := make(map[string]float64)
+	for _, k := range t.Kernels {
+		if k.Stage == "encoder" {
+			out[k.Modality] += k.Metrics.Seconds
+		}
+	}
+	return out
+}
+
+// ResourceUsage is the duration-weighted micro-architecture summary of a
+// set of kernels (one bar group of Figure 7).
+type ResourceUsage struct {
+	Seconds   float64
+	DRAMUtil  float64
+	Occupancy float64
+	GldEff    float64
+	GstEff    float64
+	IPC       float64
+}
+
+// StageResources returns the duration-weighted resource usage per stage.
+func StageResources(t *trace.Trace) map[string]ResourceUsage {
+	acc := make(map[string]ResourceUsage)
+	for _, k := range t.Kernels {
+		r := acc[k.Stage]
+		w := k.Metrics.Seconds
+		r.Seconds += w
+		r.DRAMUtil += w * k.Metrics.DRAMUtil
+		r.Occupancy += w * k.Metrics.Occupancy
+		r.GldEff += w * k.Metrics.GldEff
+		r.GstEff += w * k.Metrics.GstEff
+		r.IPC += w * k.Metrics.IPC
+		acc[k.Stage] = r
+	}
+	for s, r := range acc {
+		if r.Seconds > 0 {
+			r.DRAMUtil /= r.Seconds
+			r.Occupancy /= r.Seconds
+			r.GldEff /= r.Seconds
+			r.GstEff /= r.Seconds
+			r.IPC /= r.Seconds
+		}
+		acc[s] = r
+	}
+	return acc
+}
+
+// ClassShares returns, per stage, each kernel class's share of kernel time
+// (shares sum to 1 within a stage).
+func ClassShares(t *trace.Trace) map[string]map[kernels.Class]float64 {
+	acc := make(map[string]map[kernels.Class]float64)
+	totals := make(map[string]float64)
+	for _, k := range t.Kernels {
+		if acc[k.Stage] == nil {
+			acc[k.Stage] = make(map[kernels.Class]float64)
+		}
+		acc[k.Stage][k.Spec.Class] += k.Metrics.Seconds
+		totals[k.Stage] += k.Metrics.Seconds
+	}
+	for stage, classes := range acc {
+		if totals[stage] == 0 {
+			continue
+		}
+		for c := range classes {
+			classes[c] /= totals[stage]
+		}
+	}
+	return acc
+}
+
+// StallBreakdown returns the duration-weighted stall distribution over all
+// kernels matching the filter (nil matches everything).
+func StallBreakdown(t *trace.Trace, match func(trace.KernelEvent) bool) [device.NumStalls]float64 {
+	var acc [device.NumStalls]float64
+	var total float64
+	for _, k := range t.Kernels {
+		if match != nil && !match(k) {
+			continue
+		}
+		w := k.Metrics.Seconds
+		total += w
+		for i, s := range k.Metrics.Stalls {
+			acc[i] += w * s
+		}
+	}
+	if total > 0 {
+		for i := range acc {
+			acc[i] /= total
+		}
+	}
+	return acc
+}
+
+// HostShare returns the CPU+Runtime fraction of the total busy time
+// (host + transfers vs GPU kernels) — the paper's Figure 11 measure.
+func HostShare(t *trace.Trace) float64 {
+	host := t.HostBusy + t.TransferSeconds
+	total := host + t.GPUBusy()
+	if total == 0 {
+		return 0
+	}
+	return host / total
+}
+
+// SizeBuckets are the kernel-duration buckets of Figure 12, in
+// microseconds: [0,10), [10,50), [50,100), [100,∞).
+var SizeBuckets = []float64{10, 50, 100}
+
+// KernelSizeHistogram returns the share of kernels (by count) in each
+// duration bucket.
+func KernelSizeHistogram(t *trace.Trace) [4]float64 {
+	var counts [4]float64
+	for _, k := range t.Kernels {
+		us := k.Metrics.Seconds * 1e6
+		switch {
+		case us < SizeBuckets[0]:
+			counts[0]++
+		case us < SizeBuckets[1]:
+			counts[1]++
+		case us < SizeBuckets[2]:
+			counts[2]++
+		default:
+			counts[3]++
+		}
+	}
+	n := float64(len(t.Kernels))
+	if n > 0 {
+		for i := range counts {
+			counts[i] /= n
+		}
+	}
+	return counts
+}
+
+// Hotspot aggregates the Figure 9 per-kernel counters for all kernels of
+// one class within an optional stage filter.
+type Hotspot struct {
+	Count            int
+	Seconds          float64
+	FLOPs            int64
+	ReadTransactions int64
+	DRAMReadBytes    int64
+	L1Hit            float64
+	L2Hit            float64
+	L2ReadHit        float64
+	L2WriteHit       float64
+}
+
+// HotspotQuery aggregates kernels of the given class; stage == "" matches
+// all stages.
+func HotspotQuery(t *trace.Trace, class kernels.Class, stage string) Hotspot {
+	var h Hotspot
+	var wsum float64
+	for _, k := range t.Kernels {
+		if k.Spec.Class != class {
+			continue
+		}
+		if stage != "" && k.Stage != stage {
+			continue
+		}
+		h.Count++
+		w := k.Metrics.Seconds
+		h.Seconds += w
+		h.FLOPs += k.Spec.FLOPs
+		h.ReadTransactions += k.Metrics.ReadTransactions
+		h.DRAMReadBytes += k.Metrics.ReadTransactions * 32
+		h.L1Hit += w * k.Metrics.L1Hit
+		h.L2Hit += w * k.Metrics.L2Hit
+		h.L2ReadHit += w * k.Metrics.L2ReadHit
+		h.L2WriteHit += w * k.Metrics.L2WriteHit
+		wsum += w
+	}
+	if wsum > 0 {
+		h.L1Hit /= wsum
+		h.L2Hit /= wsum
+		h.L2ReadHit /= wsum
+		h.L2WriteHit /= wsum
+	}
+	return h
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"mmbench/internal/device"
+	"mmbench/internal/kernels"
+	"mmbench/internal/trace"
+)
+
+// buildTrace makes a small synthetic trace with a big encoder, small fusion
+// and small head.
+func buildTrace() *trace.Trace {
+	b := trace.NewBuilder(device.RTX2080Ti(), []string{"image", "audio"})
+	b.SetScope("encoder", "image")
+	b.Kernel(kernels.Conv2DSpec("conv", 32, 64, 56, 56, 64, 3, 3))
+	b.Kernel(kernels.ReluSpec("relu", 1<<20))
+	b.SetScope("encoder", "audio")
+	b.Kernel(kernels.Conv2DSpec("conv", 32, 16, 28, 28, 32, 3, 3))
+	b.SetScope("fusion", "")
+	b.Barrier("sync")
+	b.Kernel(kernels.GemmSpec("fuse", 32, 128, 64))
+	b.Kernel(kernels.ElewiseSpec("glu", 2048, 2, 2))
+	b.SetScope("head", "")
+	b.Kernel(kernels.GemmSpec("head", 32, 64, 10))
+	b.Kernel(kernels.ReduceSpec("pool", 32*64, 32))
+	return b.Finish()
+}
+
+func TestStageTimes(t *testing.T) {
+	st := StageTimes(buildTrace())
+	if st["encoder"] <= st["fusion"] || st["encoder"] <= st["head"] {
+		t.Errorf("encoder %e should dominate fusion %e and head %e", st["encoder"], st["fusion"], st["head"])
+	}
+}
+
+func TestModalityTimes(t *testing.T) {
+	mt := ModalityTimes(buildTrace())
+	if mt["image"] <= mt["audio"] {
+		t.Errorf("image %e should exceed audio %e", mt["image"], mt["audio"])
+	}
+	if _, ok := mt[""]; ok {
+		t.Error("fusion kernels leaked into modality times")
+	}
+}
+
+func TestStageResourcesBounds(t *testing.T) {
+	res := StageResources(buildTrace())
+	for stage, r := range res {
+		if r.DRAMUtil < 0 || r.DRAMUtil > 1 {
+			t.Errorf("%s DRAM util %f", stage, r.DRAMUtil)
+		}
+		if r.Occupancy < 0 || r.Occupancy > 1 {
+			t.Errorf("%s occupancy %f", stage, r.Occupancy)
+		}
+		if r.Seconds <= 0 {
+			t.Errorf("%s has no time", stage)
+		}
+	}
+	if res["encoder"].Occupancy <= res["head"].Occupancy {
+		t.Errorf("encoder occupancy %f should exceed head %f",
+			res["encoder"].Occupancy, res["head"].Occupancy)
+	}
+}
+
+func TestClassSharesSumToOne(t *testing.T) {
+	shares := ClassShares(buildTrace())
+	for stage, cl := range shares {
+		var sum float64
+		for _, v := range cl {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s shares sum to %f", stage, sum)
+		}
+	}
+	if shares["encoder"][kernels.Conv] == 0 {
+		t.Error("encoder Conv share missing")
+	}
+	if shares["fusion"][kernels.Gemm] == 0 {
+		t.Error("fusion Gemm share missing")
+	}
+}
+
+func TestStallBreakdownFiltered(t *testing.T) {
+	tr := buildTrace()
+	all := StallBreakdown(tr, nil)
+	var sum float64
+	for _, v := range all {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("stall shares sum to %f", sum)
+	}
+	enc := StallBreakdown(tr, func(k trace.KernelEvent) bool { return k.Stage == "encoder" })
+	sum = 0
+	for _, v := range enc {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("filtered stall shares sum to %f", sum)
+	}
+	empty := StallBreakdown(tr, func(trace.KernelEvent) bool { return false })
+	for _, v := range empty {
+		if v != 0 {
+			t.Error("empty filter produced nonzero stalls")
+		}
+	}
+}
+
+func TestHostShare(t *testing.T) {
+	tr := buildTrace()
+	hs := HostShare(tr)
+	if hs <= 0 || hs >= 1 {
+		t.Errorf("host share %f outside (0,1)", hs)
+	}
+}
+
+func TestKernelSizeHistogram(t *testing.T) {
+	tr := buildTrace()
+	h := KernelSizeHistogram(tr)
+	var sum float64
+	for _, v := range h {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram sums to %f", sum)
+	}
+}
+
+func TestHotspotQuery(t *testing.T) {
+	tr := buildTrace()
+	head := HotspotQuery(tr, kernels.Reduce, "head")
+	if head.Count != 1 {
+		t.Fatalf("head reduce count %d", head.Count)
+	}
+	if head.Seconds <= 0 || head.ReadTransactions < 0 {
+		t.Error("hotspot metrics not populated")
+	}
+	none := HotspotQuery(tr, kernels.Reduce, "fusion")
+	if none.Count != 0 {
+		t.Error("found reduce kernels where none exist")
+	}
+	all := HotspotQuery(tr, kernels.Gemm, "")
+	if all.Count != 2 {
+		t.Errorf("all-stage gemm count %d, want 2", all.Count)
+	}
+}

@@ -1,0 +1,182 @@
+// Package mmnet assembles encoders, a fusion operator and a task head into
+// the staged multi-modal network of the paper's Figure 1: per-modality
+// encoder branches, a fusion stage that joins them, and a task-specific
+// head. Stage and modality scope flows into the profiling recorder so every
+// kernel is attributed to (stage, modality) — the paper's fine-grained
+// network characterization.
+package mmnet
+
+import (
+	"fmt"
+
+	"mmbench/internal/autograd"
+	"mmbench/internal/data"
+	"mmbench/internal/fusion"
+	"mmbench/internal/models"
+	"mmbench/internal/ops"
+)
+
+// Stage names used for scope attribution.
+const (
+	StageEncoder = "encoder"
+	StageFusion  = "fusion"
+	StageHead    = "head"
+)
+
+// Stages lists the three stages in execution order.
+func Stages() []string { return []string{StageEncoder, StageFusion, StageHead} }
+
+// Scoper is implemented by recorders that attribute kernels to a stage and
+// modality (trace.Builder implements it).
+type Scoper interface {
+	SetScope(stage, modality string)
+}
+
+func setScope(c *ops.Ctx, stage, modality string) {
+	if s, ok := c.Rec.(Scoper); ok {
+		s.SetScope(stage, modality)
+	}
+}
+
+// Network is one end-to-end multi-modal DNN.
+type Network struct {
+	// Name identifies the variant, e.g. "avmnist/concat" or
+	// "avmnist/uni:image".
+	Name string
+	// Modalities names each encoder branch, aligned with Encoders.
+	Modalities []string
+	Encoders   []models.Encoder
+	Fusion     fusion.Fusion
+	Head       models.Head
+	Task       data.Task
+	// Gen generates this network's data (shapes and planted structure).
+	Gen *data.Generator
+}
+
+// Validate reports whether the network is structurally consistent.
+func (n *Network) Validate() error {
+	switch {
+	case n.Name == "":
+		return fmt.Errorf("mmnet: network has no name")
+	case len(n.Encoders) == 0:
+		return fmt.Errorf("mmnet %s: no encoders", n.Name)
+	case len(n.Encoders) != len(n.Modalities):
+		return fmt.Errorf("mmnet %s: %d encoders for %d modalities", n.Name, len(n.Encoders), len(n.Modalities))
+	case n.Fusion == nil || n.Head == nil:
+		return fmt.Errorf("mmnet %s: missing fusion or head", n.Name)
+	case n.Gen == nil:
+		return fmt.Errorf("mmnet %s: missing data generator", n.Name)
+	}
+	for _, m := range n.Modalities {
+		if _, ok := n.Gen.SpecByName(m); !ok {
+			return fmt.Errorf("mmnet %s: modality %q not in generator", n.Name, m)
+		}
+	}
+	return nil
+}
+
+// inputFor builds the encoder Input for one modality from a batch.
+func (n *Network) inputFor(b *data.Batch, modality string) models.Input {
+	spec, ok := n.Gen.SpecByName(modality)
+	if !ok {
+		panic(fmt.Sprintf("mmnet %s: unknown modality %q", n.Name, modality))
+	}
+	if spec.Kind == data.Dense {
+		t, ok := b.Dense[modality]
+		if !ok {
+			panic(fmt.Sprintf("mmnet %s: batch missing dense modality %q", n.Name, modality))
+		}
+		return models.Input{Dense: autograd.NewVar(t)}
+	}
+	if b.Abstract {
+		return models.Input{Abstract: true, B: b.Size, T: spec.Shape[0]}
+	}
+	toks, ok := b.Tokens[modality]
+	if !ok {
+		panic(fmt.Sprintf("mmnet %s: batch missing token modality %q", n.Name, modality))
+	}
+	return models.Input{Tokens: toks}
+}
+
+// Barrierer is implemented by recorders that model the modality
+// synchronization join before the fusion stage.
+type Barrierer interface {
+	Barrier(name string)
+}
+
+// Forward runs the three-stage network over a batch and returns the task
+// output (logits, regression values or mask logits).
+//
+// When a recorder is attached, Forward also models the synchronization
+// behaviour the paper characterizes: the fusion stage waits on every
+// modality stream (modality synchronization), and each modality's learned
+// representation passes through a host-side gather (data synchronization —
+// the intermediate-data operations that inflate CPU+Runtime time for
+// multi-modal networks).
+func (n *Network) Forward(c *ops.Ctx, b *data.Batch) *ops.Var {
+	feats := make([]*ops.Var, len(n.Encoders))
+	for i, enc := range n.Encoders {
+		setScope(c, StageEncoder, n.Modalities[i])
+		feats[i] = enc.Encode(c, n.inputFor(b, n.Modalities[i]))
+	}
+	setScope(c, StageFusion, "")
+	if c.Rec != nil {
+		if bar, ok := c.Rec.(Barrierer); ok {
+			bar.Barrier("modality_sync")
+		}
+		for i, f := range feats {
+			// Cross-modal gathers: aligning, padding and copying each
+			// learned representation costs runtime work that grows with
+			// the number of modalities being joined — the paper's
+			// "lengthy intermediate data operations" that can even
+			// outweigh GPU computation.
+			c.Rec.Host("gather:"+n.Modalities[i], 0, f.Value.Bytes(), 2+8*len(feats))
+		}
+	}
+	fused := n.Fusion.Fuse(c, feats)
+	setScope(c, StageHead, "")
+	if c.Rec != nil {
+		// Fused representation handoff to the head (one host-side op).
+		c.Rec.Host("stage_handoff", 0, fused.Value.Bytes(), 1)
+	}
+	out := n.Head.Forward(c, fused)
+	setScope(c, "", "")
+	return out
+}
+
+// Loss computes the task loss for a forward output.
+func (n *Network) Loss(c *ops.Ctx, out *ops.Var, b *data.Batch) *ops.Var {
+	switch n.Task {
+	case data.Classify:
+		return c.CrossEntropy(out, b.Labels)
+	case data.MultiLabel:
+		return c.BCEWithLogits(out, b.Targets)
+	case data.Regress:
+		return c.MSE(out, b.Targets)
+	case data.Segment:
+		return c.DiceLoss(out, b.Targets)
+	}
+	panic(fmt.Sprintf("mmnet %s: unknown task %v", n.Name, n.Task))
+}
+
+// Params returns every trainable parameter.
+func (n *Network) Params() []*ops.Var {
+	var ps []*ops.Var
+	for _, e := range n.Encoders {
+		ps = append(ps, e.Params()...)
+	}
+	ps = append(ps, n.Fusion.Params()...)
+	return append(ps, n.Head.Params()...)
+}
+
+// ParamBytes returns the model's parameter footprint in bytes.
+func (n *Network) ParamBytes() int64 {
+	var total int64
+	for _, p := range n.Params() {
+		total += p.Value.Bytes()
+	}
+	return total
+}
+
+// NumModalities returns the encoder branch count.
+func (n *Network) NumModalities() int { return len(n.Encoders) }

@@ -1,0 +1,191 @@
+package mmnet_test
+
+import (
+	"testing"
+
+	"mmbench/internal/autograd"
+	"mmbench/internal/data"
+	"mmbench/internal/kernels"
+	"mmbench/internal/mmnet"
+	"mmbench/internal/ops"
+	"mmbench/internal/tensor"
+	"mmbench/internal/workloads"
+)
+
+// scopeRecorder captures (stage, modality) scopes per kernel.
+type scopeRecorder struct {
+	stages     []string
+	modalities []string
+	stage      string
+	modality   string
+	hosts      []string
+	barriers   int
+}
+
+func (r *scopeRecorder) SetScope(stage, modality string) { r.stage, r.modality = stage, modality }
+func (r *scopeRecorder) Kernel(kernels.Spec) {
+	r.stages = append(r.stages, r.stage)
+	r.modalities = append(r.modalities, r.modality)
+}
+func (r *scopeRecorder) Host(name string, _, _ int64, _ int) { r.hosts = append(r.hosts, name) }
+func (r *scopeRecorder) Barrier(string)                      { r.barriers++ }
+
+func buildNet(t *testing.T) *mmnet.Network {
+	t.Helper()
+	n, err := workloads.Build("avmnist", "concat", false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestForwardScoping(t *testing.T) {
+	n := buildNet(t)
+	rec := &scopeRecorder{}
+	c := &ops.Ctx{Rec: rec}
+	b := n.Gen.Batch(tensor.NewRNG(1), 2)
+	n.Forward(c, b)
+
+	seen := map[string]bool{}
+	for _, s := range rec.stages {
+		seen[s] = true
+	}
+	for _, want := range mmnet.Stages() {
+		if !seen[want] {
+			t.Errorf("no kernels attributed to stage %q", want)
+		}
+	}
+	// Encoder kernels must carry modality labels.
+	for i, s := range rec.stages {
+		if s == mmnet.StageEncoder && rec.modalities[i] == "" {
+			t.Fatal("encoder kernel without modality")
+		}
+		if s != mmnet.StageEncoder && rec.modalities[i] != "" {
+			t.Fatalf("%s kernel with modality %q", s, rec.modalities[i])
+		}
+	}
+	if rec.barriers != 1 {
+		t.Errorf("%d barriers, want 1 (modality sync)", rec.barriers)
+	}
+	gathers := 0
+	for _, h := range rec.hosts {
+		if len(h) > 7 && h[:7] == "gather:" {
+			gathers++
+		}
+	}
+	if gathers != 2 {
+		t.Errorf("%d gathers, want one per modality", gathers)
+	}
+}
+
+func TestLossPerTask(t *testing.T) {
+	for _, tc := range []struct {
+		workload, variant string
+	}{
+		{"avmnist", "concat"}, // classify
+		{"mmimdb", "concat"},  // multilabel
+		{"push", "concat"},    // regress
+		{"medseg", "concat"},  // segment
+	} {
+		n, err := workloads.Build(tc.workload, tc.variant, false, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := n.Gen.Batch(tensor.NewRNG(2), 2)
+		c := ops.Infer()
+		out := n.Forward(c, b)
+		loss := n.Loss(c, out, b)
+		if loss.Value.Size() != 1 {
+			t.Errorf("%s: non-scalar loss", tc.workload)
+		}
+		if loss.Value.At(0) < 0 {
+			t.Errorf("%s: negative loss %v", tc.workload, loss.Value.At(0))
+		}
+	}
+}
+
+func TestValidateCatchesInconsistency(t *testing.T) {
+	n := buildNet(t)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	broken := *n
+	broken.Modalities = []string{"image"}
+	if err := broken.Validate(); err == nil {
+		t.Error("modality/encoder mismatch accepted")
+	}
+	broken2 := *n
+	broken2.Modalities = []string{"image", "lidar"}
+	if err := broken2.Validate(); err == nil {
+		t.Error("unknown modality accepted")
+	}
+	broken3 := *n
+	broken3.Gen = nil
+	if err := broken3.Validate(); err == nil {
+		t.Error("missing generator accepted")
+	}
+}
+
+func TestParamBytesPositive(t *testing.T) {
+	n := buildNet(t)
+	if n.ParamBytes() <= 0 {
+		t.Fatal("no parameter bytes")
+	}
+	if len(n.Params()) == 0 {
+		t.Fatal("no parameters")
+	}
+}
+
+func TestForwardGradientsReachAllStages(t *testing.T) {
+	n := buildNet(t)
+	tape := autograd.NewTape()
+	c := &ops.Ctx{Tape: tape}
+	b := n.Gen.Batch(tensor.NewRNG(3), 2)
+	out := n.Forward(c, b)
+	loss := n.Loss(c, out, b)
+	tape.Backward(loss)
+	withGrad := 0
+	for _, p := range n.Params() {
+		if p.Grad != nil && p.Grad.MaxAbs() > 0 {
+			withGrad++
+		}
+	}
+	if frac := float64(withGrad) / float64(len(n.Params())); frac < 0.9 {
+		t.Errorf("only %.0f%% of params received gradients", frac*100)
+	}
+}
+
+func TestInputForTokensAbstract(t *testing.T) {
+	n, err := workloads.Build("mmimdb", "concat", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := n.Gen.AbstractBatch(4)
+	out := n.Forward(ops.Infer(), b)
+	if !out.Value.Abstract() {
+		t.Fatal("abstract token batch produced concrete output")
+	}
+}
+
+func TestStagesOrder(t *testing.T) {
+	s := mmnet.Stages()
+	if len(s) != 3 || s[0] != mmnet.StageEncoder || s[1] != mmnet.StageFusion || s[2] != mmnet.StageHead {
+		t.Fatalf("stages %v", s)
+	}
+}
+
+func TestTaskCoverage(t *testing.T) {
+	// Loss must panic for an invalid task rather than silently misbehave.
+	n := buildNet(t)
+	broken := *n
+	broken.Task = data.Task(99)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid task did not panic")
+		}
+	}()
+	b := n.Gen.Batch(tensor.NewRNG(4), 1)
+	c := ops.Infer()
+	out := n.Forward(c, b)
+	broken.Loss(c, out, b)
+}

@@ -1,0 +1,230 @@
+package models
+
+import (
+	"testing"
+
+	"mmbench/internal/autograd"
+	"mmbench/internal/kernels"
+	"mmbench/internal/ops"
+	"mmbench/internal/tensor"
+)
+
+func denseIn(g *tensor.RNG, shape ...int) Input {
+	t := tensor.New(shape...)
+	g.Uniform(t, -1, 1)
+	return Input{Dense: autograd.NewVar(t)}
+}
+
+func abstractIn(shape ...int) Input {
+	return Input{Dense: autograd.NewVar(tensor.NewAbstract(shape...))}
+}
+
+// classCounter tallies emitted kernel classes.
+type classCounter map[kernels.Class]int
+
+func (c classCounter) Kernel(s kernels.Spec)          { c[s.Class]++ }
+func (c classCounter) Host(string, int64, int64, int) {}
+
+func TestEncoderShapes(t *testing.T) {
+	g := tensor.NewRNG(1)
+	cases := []struct {
+		name string
+		enc  Encoder
+		in   Input
+	}{
+		{"mlp", NewMLPEncoder(g.Split(1), 16, 32, 24), denseIn(g, 3, 16)},
+		{"mlp-flatten", NewMLPEncoder(g.Split(2), 16*3, 32, 24), denseIn(g, 3, 16, 3)},
+		{"lstm", NewLSTMEncoder(g.Split(3), 7, 24), denseIn(g, 3, 5, 7)},
+		{"cnn", NewCNNEncoder(g.Split(4), 3, 16, 16, []int{8, 16}, 24), denseIn(g, 3, 3, 16, 16)},
+		{"lenet", NewLeNet(g.Split(5), 1, 28, 28, 24), denseIn(g, 3, 1, 28, 28)},
+		{"lenet-gap", NewLeNetGAP(g.Split(6), 1, 28, 28, 24), denseIn(g, 3, 1, 28, 28)},
+		{"vgg", NewVGG(g.Split(7), 3, 32, 32, []int{8, -1, 16, -1}, false, 24), denseIn(g, 3, 3, 32, 32)},
+		{"resnet", NewResNet(g.Split(8), 3, 16, 16, []int{1, 1}, []int{8, 16}, false, 24), denseIn(g, 3, 3, 16, 16)},
+		{"densenet", NewDenseNet(g.Split(9), 3, 16, 16, 2, 2, 8, false, 24), denseIn(g, 3, 3, 16, 16)},
+		{"unet", NewUNetStem(g.Split(10), 1, 16, 16, []int{8, 16}, 24), denseIn(g, 3, 1, 16, 16)},
+	}
+	for _, tc := range cases {
+		out := tc.enc.Encode(ops.Infer(), tc.in)
+		if s := out.Value.Shape(); s[0] != 3 || s[1] != 24 {
+			t.Errorf("%s: output shape %v, want [3 24]", tc.name, s)
+		}
+		if tc.enc.OutDim() != 24 {
+			t.Errorf("%s: OutDim %d", tc.name, tc.enc.OutDim())
+		}
+		if len(tc.enc.Params()) == 0 {
+			t.Errorf("%s: no parameters", tc.name)
+		}
+	}
+}
+
+func TestEncodersAbstract(t *testing.T) {
+	g := tensor.NewRNG(2)
+	enc := NewVGG(g, 3, 32, 32, []int{8, -1, 16, -1}, true, 24)
+	out := enc.Encode(ops.Infer(), abstractIn(2, 3, 32, 32))
+	if !out.Value.Abstract() {
+		t.Fatal("VGG abstract input produced concrete output")
+	}
+	if s := out.Value.Shape(); s[0] != 2 || s[1] != 24 {
+		t.Fatalf("abstract shape %v", s)
+	}
+}
+
+func TestTextTransformerBothModes(t *testing.T) {
+	g := tensor.NewRNG(3)
+	enc := NewTextTransformer(g, 100, 12, 16, 1, 2, 24)
+	concrete := enc.Encode(ops.Infer(), Input{Tokens: [][]int{{1, 2, 3}, {4, 5, 6}}})
+	if s := concrete.Value.Shape(); s[0] != 2 || s[1] != 24 {
+		t.Fatalf("text out %v", s)
+	}
+	abs := enc.Encode(ops.Infer(), Input{Abstract: true, B: 4, T: 12})
+	if !abs.Value.Abstract() || abs.Value.Dim(0) != 4 {
+		t.Fatalf("abstract text out %v", abs.Value.Shape())
+	}
+}
+
+func TestBagEncoderBothModes(t *testing.T) {
+	g := tensor.NewRNG(4)
+	enc := NewBagEncoder(g, 50, 8, 16)
+	out := enc.Encode(ops.Infer(), Input{Tokens: [][]int{{1, 2}, {3, 4}}})
+	if s := out.Value.Shape(); s[0] != 2 || s[1] != 16 {
+		t.Fatalf("bag out %v", s)
+	}
+	abs := enc.Encode(ops.Infer(), Input{Abstract: true, B: 3, T: 5})
+	if !abs.Value.Abstract() {
+		t.Fatal("bag abstract failed")
+	}
+}
+
+func TestInputBatch(t *testing.T) {
+	g := tensor.NewRNG(5)
+	if denseIn(g, 7, 3).Batch() != 7 {
+		t.Error("dense batch wrong")
+	}
+	if (Input{Tokens: [][]int{{1}, {2}, {3}}}).Batch() != 3 {
+		t.Error("token batch wrong")
+	}
+	if (Input{Abstract: true, B: 9}).Batch() != 9 {
+		t.Error("abstract batch wrong")
+	}
+}
+
+func TestVGGKernelComposition(t *testing.T) {
+	// The paper: VGG is dominated by Conv/Gemm work, reflected in its
+	// kernel classes.
+	g := tensor.NewRNG(6)
+	enc := NewVGG(g, 3, 32, 32, []int{8, -1, 16, -1}, true, 24)
+	counter := classCounter{}
+	c := &ops.Ctx{Rec: counter}
+	enc.Encode(c, abstractIn(2, 3, 32, 32))
+	if counter[kernels.Conv] == 0 || counter[kernels.BNorm] == 0 {
+		t.Errorf("VGG kernel mix missing conv/bnorm: %v", counter)
+	}
+}
+
+func TestResNetWithBNProfileOnly(t *testing.T) {
+	g := tensor.NewRNG(7)
+	enc := NewResNet(g, 3, 16, 16, []int{1, 1}, []int{8, 16}, true, 24)
+	out := enc.Encode(ops.Infer(), abstractIn(2, 3, 16, 16))
+	if !out.Value.Abstract() {
+		t.Fatal("resnet BN abstract failed")
+	}
+	// Stage transition halves resolution: deeper widths must appear.
+	counter := classCounter{}
+	enc.Encode(&ops.Ctx{Rec: counter}, abstractIn(2, 3, 16, 16))
+	if counter[kernels.Conv] < 4 {
+		t.Errorf("resnet conv count %d too small", counter[kernels.Conv])
+	}
+}
+
+func TestHeads(t *testing.T) {
+	g := tensor.NewRNG(8)
+	fused := denseIn(g, 3, 32).Dense
+
+	cls := NewClassifierHead(g.Split(1), 32, 16, 5)
+	if s := cls.Forward(ops.Infer(), fused).Value.Shape(); s[1] != 5 {
+		t.Errorf("classifier out %v", s)
+	}
+	reg := NewRegressorHead(g.Split(2), 32, 16, 3)
+	if s := reg.Forward(ops.Infer(), fused).Value.Shape(); s[1] != 3 {
+		t.Errorf("regressor out %v", s)
+	}
+	seg := NewSegDecoderHead(g.Split(3), 32, 16, 4, 2)
+	if s := seg.Forward(ops.Infer(), fused).Value.Shape(); s[1] != 1 || s[2] != 16 || s[3] != 16 {
+		t.Errorf("seg out %v", s)
+	}
+	wp := NewWaypointHead(g.Split(4), 32, 24, 4)
+	if s := wp.Forward(ops.Infer(), fused).Value.Shape(); s[1] != 8 {
+		t.Errorf("waypoint out %v", s)
+	}
+	for name, h := range map[string]Head{"cls": cls, "reg": reg, "seg": seg, "wp": wp} {
+		if len(h.Params()) == 0 {
+			t.Errorf("%s head has no params", name)
+		}
+	}
+}
+
+func TestWaypointsAccumulate(t *testing.T) {
+	// The waypoint head integrates displacements: with zero GRU output
+	// bias the later waypoints must not be identically zero after random
+	// init (gradient sanity).
+	g := tensor.NewRNG(9)
+	wp := NewWaypointHead(g, 16, 24, 3)
+	fused := denseIn(g, 2, 16).Dense
+	out := wp.Forward(ops.Infer(), fused)
+	if out.Value.MaxAbs() == 0 {
+		t.Fatal("waypoints all zero")
+	}
+}
+
+func TestSegDecoderUpsampling(t *testing.T) {
+	g := tensor.NewRNG(10)
+	// base 8 with 3 levels → 64×64 masks.
+	seg := NewSegDecoderHead(g, 16, 32, 8, 3)
+	fused := denseIn(g, 1, 16).Dense
+	out := seg.Forward(ops.Infer(), fused)
+	if s := out.Value.Shape(); s[2] != 64 || s[3] != 64 {
+		t.Fatalf("decoder output %v, want 64×64", s)
+	}
+}
+
+func TestLeNetRejectsTinyInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny LeNet input accepted")
+		}
+	}()
+	NewLeNet(tensor.NewRNG(11), 1, 6, 6, 8)
+}
+
+func TestEncodersTrainable(t *testing.T) {
+	// Gradient flow smoke test across encoder families.
+	g := tensor.NewRNG(12)
+	encoders := map[string]Encoder{
+		"cnn":  NewCNNEncoder(g.Split(1), 1, 8, 8, []int{4}, 8),
+		"mlp":  NewMLPEncoder(g.Split(2), 10, 8),
+		"unet": NewUNetStem(g.Split(3), 1, 8, 8, []int{4}, 8),
+	}
+	inputs := map[string]Input{
+		"cnn":  denseIn(g, 2, 1, 8, 8),
+		"mlp":  denseIn(g, 2, 10),
+		"unet": denseIn(g, 2, 1, 8, 8),
+	}
+	for name, enc := range encoders {
+		tape := autograd.NewTape()
+		c := &ops.Ctx{Tape: tape}
+		in := inputs[name]
+		in.Dense.NeedGrad = false
+		out := enc.Encode(c, in)
+		loss := c.MeanAll(c.Mul(out, out))
+		tape.Backward(loss)
+		got := 0
+		for _, p := range enc.Params() {
+			if p.Grad != nil && p.Grad.MaxAbs() > 0 {
+				got++
+			}
+		}
+		if got == 0 {
+			t.Errorf("%s: no gradients reached parameters", name)
+		}
+	}
+}

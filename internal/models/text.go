@@ -1,0 +1,114 @@
+package models
+
+import (
+	"mmbench/internal/autograd"
+	"mmbench/internal/nn"
+	"mmbench/internal/ops"
+	"mmbench/internal/tensor"
+)
+
+// TextTransformer is a compact BERT/ALBERT/RoBERTa-style text encoder:
+// token + positional embeddings, a transformer encoder stack, mean pooling
+// and a projection. It stands in for the pretrained language models the
+// paper's workloads load from HuggingFace.
+type TextTransformer struct {
+	emb  *nn.Embedding
+	pos  *ops.Var
+	enc  *nn.TransformerEncoder
+	lin  *nn.Linear
+	maxT int
+	dim  int
+	out  int
+}
+
+// NewTextTransformer builds a text encoder for the given vocabulary,
+// maximum sequence length, model dim, depth and head count.
+func NewTextTransformer(g *tensor.RNG, vocab, maxT, dim, depth, heads, outDim int) *TextTransformer {
+	pos := tensor.New(maxT, dim)
+	g.Normal(pos, 0, 0.02)
+	return &TextTransformer{
+		emb:  nn.NewEmbedding(g.Split(1), vocab, dim),
+		pos:  autograd.Param(pos),
+		enc:  nn.NewTransformerEncoder(g.Split(2), depth, dim, heads, 2*dim),
+		lin:  nn.NewLinear(g.Split(3), dim, outDim),
+		maxT: maxT,
+		dim:  dim,
+		out:  outDim,
+	}
+}
+
+// Encode implements Encoder for token inputs.
+func (e *TextTransformer) Encode(c *ops.Ctx, in Input) *ops.Var {
+	var x *ops.Var
+	switch {
+	case in.Abstract:
+		x = c.EmbeddingShape(e.emb.Table, in.B, in.T)
+	case in.Tokens != nil:
+		x = e.emb.Lookup(c, in.Tokens)
+	default:
+		panic("models: TextTransformer needs token input")
+	}
+	t := x.Value.Dim(1)
+	if t > e.maxT {
+		panic("models: sequence longer than positional table")
+	}
+	pos := e.pos
+	if t < e.maxT {
+		pos = c.Slice(pos, 0, 0, t)
+	}
+	x = c.AddRows(x, pos)
+	x = e.enc.Forward(c, x)
+	return c.ReLU(e.lin.Forward(c, c.MeanAxis1(x)))
+}
+
+// OutDim implements Encoder.
+func (e *TextTransformer) OutDim() int { return e.out }
+
+// Params implements Encoder.
+func (e *TextTransformer) Params() []*ops.Var {
+	ps := e.emb.Params()
+	ps = append(ps, e.pos)
+	ps = append(ps, e.enc.Params()...)
+	return append(ps, e.lin.Params()...)
+}
+
+// BagEncoder is a bag-of-embeddings text encoder: token embeddings are
+// mean-pooled and projected. It is the fast-converging text branch used by
+// trainable workload variants whose profile flavour uses a full
+// transformer encoder.
+type BagEncoder struct {
+	emb *nn.Embedding
+	net *nn.Sequential
+	out int
+}
+
+// NewBagEncoder builds a bag-of-embeddings encoder.
+func NewBagEncoder(g *tensor.RNG, vocab, dim, outDim int) *BagEncoder {
+	return &BagEncoder{
+		emb: nn.NewEmbedding(g.Split(1), vocab, dim),
+		net: nn.NewSequential(nn.NewLinear(g.Split(2), dim, outDim), nn.ReLU()),
+		out: outDim,
+	}
+}
+
+// Encode implements Encoder for token inputs.
+func (e *BagEncoder) Encode(c *ops.Ctx, in Input) *ops.Var {
+	var x *ops.Var
+	switch {
+	case in.Abstract:
+		x = c.EmbeddingShape(e.emb.Table, in.B, in.T)
+	case in.Tokens != nil:
+		x = e.emb.Lookup(c, in.Tokens)
+	default:
+		panic("models: BagEncoder needs token input")
+	}
+	return e.net.Forward(c, c.MeanAxis1(x))
+}
+
+// OutDim implements Encoder.
+func (e *BagEncoder) OutDim() int { return e.out }
+
+// Params implements Encoder.
+func (e *BagEncoder) Params() []*ops.Var {
+	return append(e.emb.Params(), e.net.Params()...)
+}

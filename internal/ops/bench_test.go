@@ -1,0 +1,93 @@
+package ops
+
+import (
+	"testing"
+
+	"mmbench/internal/autograd"
+	"mmbench/internal/tensor"
+)
+
+func benchVar(g *tensor.RNG, shape ...int) *Var {
+	t := tensor.New(shape...)
+	g.Uniform(t, -1, 1)
+	return autograd.NewVar(t)
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	g := tensor.NewRNG(1)
+	x := benchVar(g, 128, 128)
+	y := benchVar(g, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Infer().MatMul(x, y)
+	}
+}
+
+func BenchmarkConv2D(b *testing.B) {
+	g := tensor.NewRNG(2)
+	x := benchVar(g, 8, 16, 28, 28)
+	w := benchVar(g, 32, 16, 3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Infer().Conv2D(x, w, nil, 1, 1)
+	}
+}
+
+func BenchmarkConv2DBackward(b *testing.B) {
+	g := tensor.NewRNG(3)
+	x := autograd.Param(tensor.New(4, 8, 14, 14))
+	g.Uniform(x.Value, -1, 1)
+	w := autograd.Param(tensor.New(16, 8, 3, 3))
+	g.Uniform(w.Value, -1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tape := autograd.NewTape()
+		c := &Ctx{Tape: tape}
+		out := c.Conv2D(x, w, nil, 1, 1)
+		loss := c.MeanAll(out)
+		tape.Backward(loss)
+		x.ZeroGrad()
+		w.ZeroGrad()
+	}
+}
+
+func BenchmarkSoftmax(b *testing.B) {
+	g := tensor.NewRNG(4)
+	x := benchVar(g, 256, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Infer().Softmax(x)
+	}
+}
+
+func BenchmarkLayerNorm(b *testing.B) {
+	g := tensor.NewRNG(5)
+	x := benchVar(g, 64, 256)
+	gamma := Ones(false, 256)
+	beta := autograd.NewVar(tensor.New(256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Infer().LayerNorm(x, gamma, beta, 1e-5)
+	}
+}
+
+func BenchmarkAnalyticConv(b *testing.B) {
+	// Abstract inputs skip the math: this measures pure spec emission,
+	// the cost basis of the dataset-free profiling mode.
+	x := autograd.NewVar(tensor.NewAbstract(32, 64, 56, 56))
+	w := autograd.NewVar(tensor.New(128, 64, 3, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Infer().Conv2D(x, w, nil, 1, 1)
+	}
+}
+
+func BenchmarkOuterFusion(b *testing.B) {
+	g := tensor.NewRNG(6)
+	x := benchVar(g, 32, 16)
+	y := benchVar(g, 32, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Infer().OuterFusion(x, y)
+	}
+}

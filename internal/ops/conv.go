@@ -1,0 +1,308 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"mmbench/internal/kernels"
+)
+
+// convOut returns the output spatial size for one dimension.
+func convOut(in, kernel, stride, pad int) int {
+	out := (in+2*pad-kernel)/stride + 1
+	if out <= 0 {
+		panic(fmt.Sprintf("ops: convolution output size %d for in=%d k=%d s=%d p=%d", out, in, kernel, stride, pad))
+	}
+	return out
+}
+
+// Conv2D applies a 2-D convolution. x is [N,C,H,W]; w is [OutC,C,KH,KW];
+// bias is [OutC] and may be nil.
+func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
+	assertRank(x, 4, "Conv2D")
+	assertRank(w, 4, "Conv2D weight")
+	n, ch, h, wd := x.Value.Dim(0), x.Value.Dim(1), x.Value.Dim(2), x.Value.Dim(3)
+	outC, wc, kh, kw := w.Value.Dim(0), w.Value.Dim(1), w.Value.Dim(2), w.Value.Dim(3)
+	if wc != ch {
+		panic(fmt.Sprintf("ops: Conv2D input channels %d != weight channels %d", ch, wc))
+	}
+	oh := convOut(h, kh, stride, pad)
+	ow := convOut(wd, kw, stride, pad)
+
+	c.emit(kernels.Conv2DSpec(fmt.Sprintf("conv2d_%dx%d_c%d_o%d", kh, kw, ch, outC), n, ch, oh, ow, outC, kh, kw))
+	if bias != nil {
+		c.emit(kernels.ElewiseSpec("conv_bias", n*outC*oh*ow, 2, 1))
+	}
+
+	inputs := []*Var{x, w}
+	if bias != nil {
+		inputs = append(inputs, bias)
+	}
+	out := c.out([]int{n, outC, oh, ow}, inputs...)
+	if out.Value.Abstract() {
+		return out
+	}
+
+	xd, wdta, od := x.Value.Data(), w.Value.Data(), out.Value.Data()
+	forward := func() {
+		for ni := 0; ni < n; ni++ {
+			for oc := 0; oc < outC; oc++ {
+				var b float32
+				if bias != nil {
+					b = bias.Value.Data()[oc]
+				}
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						sum := b
+						for ci := 0; ci < ch; ci++ {
+							for ky := 0; ky < kh; ky++ {
+								iy := oy*stride + ky - pad
+								if iy < 0 || iy >= h {
+									continue
+								}
+								xRow := xd[((ni*ch+ci)*h+iy)*wd:]
+								wRow := wdta[((oc*ch+ci)*kh+ky)*kw:]
+								for kx := 0; kx < kw; kx++ {
+									ix := ox*stride + kx - pad
+									if ix < 0 || ix >= wd {
+										continue
+									}
+									sum += xRow[ix] * wRow[kx]
+								}
+							}
+						}
+						od[((ni*outC+oc)*oh+oy)*ow+ox] = sum
+					}
+				}
+			}
+		}
+	}
+	forward()
+
+	if c.taping(inputs...) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			var xg, wg []float32
+			if x.NeedGrad {
+				xg = x.EnsureGrad().Data()
+			}
+			if w.NeedGrad {
+				wg = w.EnsureGrad().Data()
+			}
+			for ni := 0; ni < n; ni++ {
+				for oc := 0; oc < outC; oc++ {
+					for oy := 0; oy < oh; oy++ {
+						for ox := 0; ox < ow; ox++ {
+							gv := g[((ni*outC+oc)*oh+oy)*ow+ox]
+							if gv == 0 {
+								continue
+							}
+							for ci := 0; ci < ch; ci++ {
+								for ky := 0; ky < kh; ky++ {
+									iy := oy*stride + ky - pad
+									if iy < 0 || iy >= h {
+										continue
+									}
+									for kx := 0; kx < kw; kx++ {
+										ix := ox*stride + kx - pad
+										if ix < 0 || ix >= wd {
+											continue
+										}
+										xi := ((ni*ch+ci)*h+iy)*wd + ix
+										wi := ((oc*ch+ci)*kh+ky)*kw + kx
+										if xg != nil {
+											xg[xi] += gv * wdta[wi]
+										}
+										if wg != nil {
+											wg[wi] += gv * xd[xi]
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+			if bias != nil && bias.NeedGrad {
+				bg := bias.EnsureGrad().Data()
+				for ni := 0; ni < n; ni++ {
+					for oc := 0; oc < outC; oc++ {
+						base := ((ni*outC + oc) * oh) * ow
+						for i := 0; i < oh*ow; i++ {
+							bg[oc] += g[base+i]
+						}
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// MaxPool2D applies max pooling with a square window and stride equal to
+// the window size.
+func (c *Ctx) MaxPool2D(x *Var, window int) *Var {
+	assertRank(x, 4, "MaxPool2D")
+	n, ch, h, w := x.Value.Dim(0), x.Value.Dim(1), x.Value.Dim(2), x.Value.Dim(3)
+	oh, ow := h/window, w/window
+	if oh == 0 || ow == 0 {
+		panic(fmt.Sprintf("ops: MaxPool2D window %d too large for %dx%d", window, h, w))
+	}
+	c.emit(kernels.PoolingSpec(fmt.Sprintf("maxpool_%d", window), n*ch*oh*ow, window))
+	out := c.out([]int{n, ch, oh, ow}, x)
+	if out.Value.Abstract() {
+		return out
+	}
+	xd, od := x.Value.Data(), out.Value.Data()
+	argmax := make([]int32, len(od))
+	for nc := 0; nc < n*ch; nc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(math.Inf(-1))
+				bestIdx := 0
+				for ky := 0; ky < window; ky++ {
+					for kx := 0; kx < window; kx++ {
+						idx := (nc*h+oy*window+ky)*w + ox*window + kx
+						if xd[idx] > best {
+							best = xd[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				o := (nc*oh+oy)*ow + ox
+				od[o] = best
+				argmax[o] = int32(bestIdx)
+			}
+		}
+	}
+	if c.taping(x) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			xg := x.EnsureGrad().Data()
+			for i, idx := range argmax {
+				xg[idx] += g[i]
+			}
+		})
+	}
+	return out
+}
+
+// AvgPool2D applies average pooling with a square window and stride equal
+// to the window size.
+func (c *Ctx) AvgPool2D(x *Var, window int) *Var {
+	assertRank(x, 4, "AvgPool2D")
+	n, ch, h, w := x.Value.Dim(0), x.Value.Dim(1), x.Value.Dim(2), x.Value.Dim(3)
+	oh, ow := h/window, w/window
+	if oh == 0 || ow == 0 {
+		panic(fmt.Sprintf("ops: AvgPool2D window %d too large for %dx%d", window, h, w))
+	}
+	c.emit(kernels.PoolingSpec(fmt.Sprintf("avgpool_%d", window), n*ch*oh*ow, window))
+	out := c.out([]int{n, ch, oh, ow}, x)
+	if out.Value.Abstract() {
+		return out
+	}
+	inv := 1 / float32(window*window)
+	xd, od := x.Value.Data(), out.Value.Data()
+	for nc := 0; nc < n*ch; nc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var sum float32
+				for ky := 0; ky < window; ky++ {
+					for kx := 0; kx < window; kx++ {
+						sum += xd[(nc*h+oy*window+ky)*w+ox*window+kx]
+					}
+				}
+				od[(nc*oh+oy)*ow+ox] = sum * inv
+			}
+		}
+	}
+	if c.taping(x) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			xg := x.EnsureGrad().Data()
+			for nc := 0; nc < n*ch; nc++ {
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						gv := g[(nc*oh+oy)*ow+ox] * inv
+						for ky := 0; ky < window; ky++ {
+							for kx := 0; kx < window; kx++ {
+								xg[(nc*h+oy*window+ky)*w+ox*window+kx] += gv
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// GlobalAvgPool2D reduces [N,C,H,W] to [N,C] by averaging each channel's
+// spatial plane. It lowers to a Reduce-class kernel (the paper's Figure 9
+// hotspot analysis tracks this kernel across stages).
+func (c *Ctx) GlobalAvgPool2D(x *Var) *Var {
+	assertRank(x, 4, "GlobalAvgPool2D")
+	n, ch, h, w := x.Value.Dim(0), x.Value.Dim(1), x.Value.Dim(2), x.Value.Dim(3)
+	c.emit(kernels.ReduceSpec("global_avg_pool", n*ch*h*w, n*ch))
+	out := c.out([]int{n, ch}, x)
+	if out.Value.Abstract() {
+		return out
+	}
+	plane := h * w
+	inv := 1 / float32(plane)
+	xd, od := x.Value.Data(), out.Value.Data()
+	for nc := 0; nc < n*ch; nc++ {
+		var sum float32
+		for i := 0; i < plane; i++ {
+			sum += xd[nc*plane+i]
+		}
+		od[nc] = sum * inv
+	}
+	if c.taping(x) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			xg := x.EnsureGrad().Data()
+			for nc := 0; nc < n*ch; nc++ {
+				gv := g[nc] * inv
+				for i := 0; i < plane; i++ {
+					xg[nc*plane+i] += gv
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Upsample2D doubles the spatial resolution of [N,C,H,W] by nearest-
+// neighbour interpolation (used by the U-Net decoder).
+func (c *Ctx) Upsample2D(x *Var) *Var {
+	assertRank(x, 4, "Upsample2D")
+	n, ch, h, w := x.Value.Dim(0), x.Value.Dim(1), x.Value.Dim(2), x.Value.Dim(3)
+	c.emit(kernels.CopySpec("upsample2x", n*ch*h*w*4))
+	out := c.out([]int{n, ch, 2 * h, 2 * w}, x)
+	if out.Value.Abstract() {
+		return out
+	}
+	xd, od := x.Value.Data(), out.Value.Data()
+	for nc := 0; nc < n*ch; nc++ {
+		for y := 0; y < 2*h; y++ {
+			for xx := 0; xx < 2*w; xx++ {
+				od[(nc*2*h+y)*2*w+xx] = xd[(nc*h+y/2)*w+xx/2]
+			}
+		}
+	}
+	if c.taping(x) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			xg := x.EnsureGrad().Data()
+			for nc := 0; nc < n*ch; nc++ {
+				for y := 0; y < 2*h; y++ {
+					for xx := 0; xx < 2*w; xx++ {
+						xg[(nc*h+y/2)*w+xx/2] += g[(nc*2*h+y)*2*w+xx]
+					}
+				}
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package ops implements every DNN operator MMBench's workloads need, with
+// three facets per operator:
+//
+//   - eager forward math on concrete tensors (pure Go, float32);
+//   - reverse-mode backward when a Tape is attached;
+//   - emission of device-independent kernel specs to a Recorder, so the
+//     device model can price the operator on any platform.
+//
+// Operators accept abstract (shape-only) tensors and then skip the math but
+// still emit kernel specs — this is MMBench's dataset-free computation
+// abstraction, used to profile paper-scale networks quickly.
+package ops
+
+import (
+	"fmt"
+
+	"mmbench/internal/autograd"
+	"mmbench/internal/kernels"
+	"mmbench/internal/tensor"
+)
+
+// Var is re-exported for convenience so callers only import ops.
+type Var = autograd.Var
+
+// Recorder receives the kernels and host-side operations an operator
+// lowers to. The trace builder in internal/trace implements it.
+type Recorder interface {
+	// Kernel records a GPU kernel launch.
+	Kernel(spec kernels.Spec)
+	// Host records CPU+runtime work (framework dispatch, data prep).
+	Host(name string, flops, bytes int64, nOps int)
+}
+
+// Ctx carries the execution environment through a forward pass.
+type Ctx struct {
+	// Tape, when non-nil, records backward steps (training mode).
+	Tape *autograd.Tape
+	// Rec, when non-nil, receives kernel/host records (profiling mode).
+	Rec Recorder
+	// RNG drives stochastic operators (dropout).
+	RNG *tensor.RNG
+	// Training toggles train-time behaviour (dropout active).
+	Training bool
+}
+
+// Infer returns a minimal inference context with no tape or recorder.
+func Infer() *Ctx { return &Ctx{} }
+
+func (c *Ctx) emit(s kernels.Spec) {
+	if c.Rec != nil {
+		c.Rec.Kernel(s)
+	}
+}
+
+func (c *Ctx) emitHost(name string, flops, bytes int64, nOps int) {
+	if c.Rec != nil {
+		c.Rec.Host(name, flops, bytes, nOps)
+	}
+}
+
+// taping reports whether backward steps should be recorded for an operator
+// whose inputs include the given vars.
+func (c *Ctx) taping(vs ...*Var) bool {
+	if c.Tape == nil {
+		return false
+	}
+	for _, v := range vs {
+		if v.Value.Abstract() {
+			return false
+		}
+	}
+	for _, v := range vs {
+		if v.NeedGrad {
+			return true
+		}
+	}
+	return false
+}
+
+func anyAbstract(vs ...*Var) bool {
+	for _, v := range vs {
+		if v.Value.Abstract() {
+			return true
+		}
+	}
+	return false
+}
+
+// out builds the result Var for an operator: abstract if any input is
+// abstract, and marked NeedGrad if gradients will flow.
+func (c *Ctx) out(shape []int, inputs ...*Var) *Var {
+	var t *tensor.Tensor
+	if anyAbstract(inputs...) {
+		t = tensor.NewAbstract(shape...)
+	} else {
+		t = tensor.New(shape...)
+	}
+	v := autograd.NewVar(t)
+	if c.taping(inputs...) {
+		v.NeedGrad = true
+	}
+	return v
+}
+
+func assertRank(v *Var, rank int, op string) {
+	if v.Value.Rank() != rank {
+		panic(fmt.Sprintf("ops: %s expects rank-%d input, got shape %v", op, rank, v.Value.Shape()))
+	}
+}
+
+// tapeStep registers a backward step that is skipped when the operator's
+// output never received a gradient (its result feeds a disconnected part
+// of the graph, e.g. encoders under the Zero fusion).
+func (c *Ctx) tapeStep(out *Var, fn func()) {
+	c.Tape.Append(func() {
+		if out.Grad == nil {
+			return
+		}
+		fn()
+	})
+}

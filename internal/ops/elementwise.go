@@ -1,0 +1,250 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"mmbench/internal/kernels"
+	"mmbench/internal/tensor"
+)
+
+func assertSameShape(a, b *Var, op string) {
+	if !tensor.SameShape(a.Value, b.Value) {
+		panic(fmt.Sprintf("ops: %s shape mismatch %v vs %v", op, a.Value.Shape(), b.Value.Shape()))
+	}
+}
+
+// Add returns a + b element-wise (identical shapes).
+func (c *Ctx) Add(a, b *Var) *Var {
+	assertSameShape(a, b, "Add")
+	n := a.Value.Size()
+	c.emit(kernels.ElewiseSpec("add", n, 2, 1))
+	out := c.out(a.Value.Shape(), a, b)
+	if out.Value.Abstract() {
+		return out
+	}
+	ad, bd, od := a.Value.Data(), b.Value.Data(), out.Value.Data()
+	for i := range od {
+		od[i] = ad[i] + bd[i]
+	}
+	if c.taping(a, b) {
+		c.tapeStep(out, func() {
+			if a.NeedGrad {
+				a.EnsureGrad().AddScaled(out.Grad, 1)
+			}
+			if b.NeedGrad {
+				b.EnsureGrad().AddScaled(out.Grad, 1)
+			}
+		})
+	}
+	return out
+}
+
+// Mul returns a ⊙ b element-wise (identical shapes).
+func (c *Ctx) Mul(a, b *Var) *Var {
+	assertSameShape(a, b, "Mul")
+	n := a.Value.Size()
+	c.emit(kernels.ElewiseSpec("mul", n, 2, 1))
+	out := c.out(a.Value.Shape(), a, b)
+	if out.Value.Abstract() {
+		return out
+	}
+	ad, bd, od := a.Value.Data(), b.Value.Data(), out.Value.Data()
+	for i := range od {
+		od[i] = ad[i] * bd[i]
+	}
+	if c.taping(a, b) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			if a.NeedGrad {
+				ag := a.EnsureGrad().Data()
+				for i := range g {
+					ag[i] += g[i] * bd[i]
+				}
+			}
+			if b.NeedGrad {
+				bg := b.EnsureGrad().Data()
+				for i := range g {
+					bg[i] += g[i] * ad[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Scale returns a * alpha.
+func (c *Ctx) Scale(a *Var, alpha float32) *Var {
+	n := a.Value.Size()
+	c.emit(kernels.ElewiseSpec("scale", n, 1, 1))
+	out := c.out(a.Value.Shape(), a)
+	if out.Value.Abstract() {
+		return out
+	}
+	ad, od := a.Value.Data(), out.Value.Data()
+	for i := range od {
+		od[i] = ad[i] * alpha
+	}
+	if c.taping(a) {
+		c.tapeStep(out, func() {
+			a.EnsureGrad().AddScaled(out.Grad, alpha)
+		})
+	}
+	return out
+}
+
+// unary applies an element-wise function with derivative expressed in terms
+// of input x and output y.
+func (c *Ctx) unary(a *Var, spec kernels.Spec, f func(x float32) float32, df func(x, y float32) float32) *Var {
+	c.emit(spec)
+	out := c.out(a.Value.Shape(), a)
+	if out.Value.Abstract() {
+		return out
+	}
+	ad, od := a.Value.Data(), out.Value.Data()
+	for i := range od {
+		od[i] = f(ad[i])
+	}
+	if c.taping(a) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			ag := a.EnsureGrad().Data()
+			for i := range g {
+				ag[i] += g[i] * df(ad[i], od[i])
+			}
+		})
+	}
+	return out
+}
+
+// ReLU applies max(0, x).
+func (c *Ctx) ReLU(a *Var) *Var {
+	return c.unary(a, kernels.ReluSpec("relu", a.Value.Size()),
+		func(x float32) float32 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		},
+		func(x, _ float32) float32 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// Sigmoid applies 1/(1+e^-x).
+func (c *Ctx) Sigmoid(a *Var) *Var {
+	spec := kernels.ElewiseSpec("sigmoid", a.Value.Size(), 1, 4)
+	return c.unary(a, spec,
+		func(x float32) float32 { return float32(1 / (1 + math.Exp(-float64(x)))) },
+		func(_, y float32) float32 { return y * (1 - y) })
+}
+
+// Tanh applies the hyperbolic tangent.
+func (c *Ctx) Tanh(a *Var) *Var {
+	spec := kernels.ElewiseSpec("tanh", a.Value.Size(), 1, 4)
+	return c.unary(a, spec,
+		func(x float32) float32 { return float32(math.Tanh(float64(x))) },
+		func(_, y float32) float32 { return 1 - y*y })
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit.
+func (c *Ctx) GELU(a *Var) *Var {
+	const k = 0.7978845608028654 // sqrt(2/pi)
+	spec := kernels.ElewiseSpec("gelu", a.Value.Size(), 1, 8)
+	spec.Class = kernels.Relu // the paper buckets activations under Relu
+	return c.unary(a, spec,
+		func(x float32) float32 {
+			xf := float64(x)
+			return float32(0.5 * xf * (1 + math.Tanh(k*(xf+0.044715*xf*xf*xf))))
+		},
+		func(x, _ float32) float32 {
+			xf := float64(x)
+			inner := k * (xf + 0.044715*xf*xf*xf)
+			th := math.Tanh(inner)
+			dInner := k * (1 + 3*0.044715*xf*xf)
+			return float32(0.5*(1+th) + 0.5*xf*(1-th*th)*dInner)
+		})
+}
+
+// Dropout zeroes each element with probability p during training and
+// rescales survivors by 1/(1-p). In inference mode it is the identity.
+func (c *Ctx) Dropout(a *Var, p float32) *Var {
+	if !c.Training || p <= 0 {
+		return a
+	}
+	if c.RNG == nil {
+		panic("ops: Dropout in training mode requires Ctx.RNG")
+	}
+	n := a.Value.Size()
+	c.emit(kernels.ElewiseSpec("dropout", n, 2, 1))
+	out := c.out(a.Value.Shape(), a)
+	if out.Value.Abstract() {
+		return out
+	}
+	mask := make([]float32, n)
+	scale := 1 / (1 - p)
+	for i := range mask {
+		if c.RNG.Float32() >= p {
+			mask[i] = scale
+		}
+	}
+	ad, od := a.Value.Data(), out.Value.Data()
+	for i := range od {
+		od[i] = ad[i] * mask[i]
+	}
+	if c.taping(a) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			ag := a.EnsureGrad().Data()
+			for i := range g {
+				ag[i] += g[i] * mask[i]
+			}
+		})
+	}
+	return out
+}
+
+// AddRows adds p [T,D] to every batch slice of x [B,T,D] (positional
+// embedding addition).
+func (c *Ctx) AddRows(x, p *Var) *Var {
+	assertRank(x, 3, "AddRows")
+	assertRank(p, 2, "AddRows pos")
+	b, t, d := x.Value.Dim(0), x.Value.Dim(1), x.Value.Dim(2)
+	if p.Value.Dim(0) != t || p.Value.Dim(1) != d {
+		panic(fmt.Sprintf("ops: AddRows pos %v for input %v", p.Value.Shape(), x.Value.Shape()))
+	}
+	c.emit(kernels.ElewiseSpec("add_rows", b*t*d, 2, 1))
+	out := c.out([]int{b, t, d}, x, p)
+	if out.Value.Abstract() {
+		return out
+	}
+	xd, pd, od := x.Value.Data(), p.Value.Data(), out.Value.Data()
+	for bi := 0; bi < b; bi++ {
+		row := xd[bi*t*d : (bi+1)*t*d]
+		orow := od[bi*t*d : (bi+1)*t*d]
+		for i := range row {
+			orow[i] = row[i] + pd[i]
+		}
+	}
+	if c.taping(x, p) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			if x.NeedGrad {
+				x.EnsureGrad().AddScaled(out.Grad, 1)
+			}
+			if p.NeedGrad {
+				pg := p.EnsureGrad().Data()
+				for bi := 0; bi < b; bi++ {
+					grow := g[bi*t*d : (bi+1)*t*d]
+					for i := range grow {
+						pg[i] += grow[i]
+					}
+				}
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package ops
+
+import (
+	"fmt"
+
+	"mmbench/internal/kernels"
+)
+
+// SplitHeads rearranges [B,T,H·dh] into [B·H,T,dh] for multi-head
+// attention, so each head becomes an independent batched-GEMM problem.
+func (c *Ctx) SplitHeads(x *Var, heads int) *Var {
+	assertRank(x, 3, "SplitHeads")
+	b, t, d := x.Value.Dim(0), x.Value.Dim(1), x.Value.Dim(2)
+	if d%heads != 0 {
+		panic(fmt.Sprintf("ops: SplitHeads model dim %d not divisible by %d heads", d, heads))
+	}
+	dh := d / heads
+	c.emit(kernels.CopySpec("split_heads", b*t*d))
+	out := c.out([]int{b * heads, t, dh}, x)
+	if out.Value.Abstract() {
+		return out
+	}
+	xd, od := x.Value.Data(), out.Value.Data()
+	for bi := 0; bi < b; bi++ {
+		for ti := 0; ti < t; ti++ {
+			for h := 0; h < heads; h++ {
+				src := xd[(bi*t+ti)*d+h*dh : (bi*t+ti)*d+(h+1)*dh]
+				dst := od[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
+				copy(dst, src)
+			}
+		}
+	}
+	if c.taping(x) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			xg := x.EnsureGrad().Data()
+			for bi := 0; bi < b; bi++ {
+				for ti := 0; ti < t; ti++ {
+					for h := 0; h < heads; h++ {
+						src := g[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
+						dst := xg[(bi*t+ti)*d+h*dh : (bi*t+ti)*d+(h+1)*dh]
+						for i := range src {
+							dst[i] += src[i]
+						}
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// MergeHeads inverts SplitHeads: [B·H,T,dh] back to [B,T,H·dh].
+func (c *Ctx) MergeHeads(x *Var, heads int) *Var {
+	assertRank(x, 3, "MergeHeads")
+	bh, t, dh := x.Value.Dim(0), x.Value.Dim(1), x.Value.Dim(2)
+	if bh%heads != 0 {
+		panic(fmt.Sprintf("ops: MergeHeads batch·heads %d not divisible by %d heads", bh, heads))
+	}
+	b := bh / heads
+	d := dh * heads
+	c.emit(kernels.CopySpec("merge_heads", bh*t*dh))
+	out := c.out([]int{b, t, d}, x)
+	if out.Value.Abstract() {
+		return out
+	}
+	xd, od := x.Value.Data(), out.Value.Data()
+	for bi := 0; bi < b; bi++ {
+		for ti := 0; ti < t; ti++ {
+			for h := 0; h < heads; h++ {
+				src := xd[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
+				dst := od[(bi*t+ti)*d+h*dh : (bi*t+ti)*d+(h+1)*dh]
+				copy(dst, src)
+			}
+		}
+	}
+	if c.taping(x) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			xg := x.EnsureGrad().Data()
+			for bi := 0; bi < b; bi++ {
+				for ti := 0; ti < t; ti++ {
+					for h := 0; h < heads; h++ {
+						src := g[(bi*t+ti)*d+h*dh : (bi*t+ti)*d+(h+1)*dh]
+						dst := xg[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
+						for i := range src {
+							dst[i] += src[i]
+						}
+					}
+				}
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package ops
+
+import (
+	"fmt"
+
+	"mmbench/internal/kernels"
+)
+
+// matmulNN computes dst[m,n] += a[m,k] · b[k,n] over flat row-major slices.
+func matmulNN(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		dr := dst[i*n : (i+1)*n]
+		for l, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b[l*n : (l+1)*n]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// matmulNT computes dst[m,k] += a[m,n] · b[k,n]ᵀ.
+func matmulNT(dst, a, b []float32, m, n, k int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*n : (i+1)*n]
+		dr := dst[i*k : (i+1)*k]
+		for j := 0; j < k; j++ {
+			br := b[j*n : (j+1)*n]
+			var s float32
+			for l := range ar {
+				s += ar[l] * br[l]
+			}
+			dr[j] += s
+		}
+	}
+}
+
+// matmulTN computes dst[k,n] += a[m,k]ᵀ · b[m,n].
+func matmulTN(dst, a, b []float32, m, k, n int) {
+	for l := 0; l < m; l++ {
+		ar := a[l*k : (l+1)*k]
+		br := b[l*n : (l+1)*n]
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			dr := dst[i*n : (i+1)*n]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMul multiplies a[m,k] by b[k,n].
+func (c *Ctx) MatMul(a, b *Var) *Var {
+	assertRank(a, 2, "MatMul")
+	assertRank(b, 2, "MatMul")
+	m, k := a.Value.Dim(0), a.Value.Dim(1)
+	k2, n := b.Value.Dim(0), b.Value.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("ops: MatMul inner dims %d != %d", k, k2))
+	}
+	c.emit(kernels.GemmSpec(fmt.Sprintf("gemm_%dx%dx%d", m, k, n), m, k, n))
+	out := c.out([]int{m, n}, a, b)
+	if out.Value.Abstract() {
+		return out
+	}
+	matmulNN(out.Value.Data(), a.Value.Data(), b.Value.Data(), m, k, n)
+	if c.taping(a, b) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			if a.NeedGrad {
+				matmulNT(a.EnsureGrad().Data(), g, b.Value.Data(), m, n, k)
+			}
+			if b.NeedGrad {
+				matmulTN(b.EnsureGrad().Data(), a.Value.Data(), g, m, k, n)
+			}
+		})
+	}
+	return out
+}
+
+// MatMulBatched multiplies a[B,m,k] by b[B,k,n] batch-wise.
+func (c *Ctx) MatMulBatched(a, b *Var) *Var {
+	assertRank(a, 3, "MatMulBatched")
+	assertRank(b, 3, "MatMulBatched")
+	bs, m, k := a.Value.Dim(0), a.Value.Dim(1), a.Value.Dim(2)
+	if b.Value.Dim(0) != bs || b.Value.Dim(1) != k {
+		panic(fmt.Sprintf("ops: MatMulBatched shapes %v × %v", a.Value.Shape(), b.Value.Shape()))
+	}
+	n := b.Value.Dim(2)
+	c.emit(kernels.GemmSpec(fmt.Sprintf("bgemm_%dx%dx%dx%d", bs, m, k, n), bs*m, k, n))
+	out := c.out([]int{bs, m, n}, a, b)
+	if out.Value.Abstract() {
+		return out
+	}
+	ad, bd, od := a.Value.Data(), b.Value.Data(), out.Value.Data()
+	for i := 0; i < bs; i++ {
+		matmulNN(od[i*m*n:(i+1)*m*n], ad[i*m*k:(i+1)*m*k], bd[i*k*n:(i+1)*k*n], m, k, n)
+	}
+	if c.taping(a, b) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			for i := 0; i < bs; i++ {
+				gi := g[i*m*n : (i+1)*m*n]
+				if a.NeedGrad {
+					matmulNT(a.EnsureGrad().Data()[i*m*k:(i+1)*m*k], gi, bd[i*k*n:(i+1)*k*n], m, n, k)
+				}
+				if b.NeedGrad {
+					matmulTN(b.EnsureGrad().Data()[i*k*n:(i+1)*k*n], ad[i*m*k:(i+1)*m*k], gi, m, k, n)
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Linear applies x·W + bias. x may be rank 2 [batch, in] or rank 3
+// [batch, time, in] (flattened internally); W is [in, out]; bias is [out]
+// and may be nil.
+func (c *Ctx) Linear(x, w, bias *Var) *Var {
+	assertRank(w, 2, "Linear")
+	in, outDim := w.Value.Dim(0), w.Value.Dim(1)
+	xs := x.Value.Shape()
+	if xs[len(xs)-1] != in {
+		panic(fmt.Sprintf("ops: Linear input %v incompatible with weight %v", xs, w.Value.Shape()))
+	}
+	rows := x.Value.Size() / in
+
+	c.emit(kernels.GemmSpec(fmt.Sprintf("linear_%dx%dx%d", rows, in, outDim), rows, in, outDim))
+	if bias != nil {
+		c.emit(kernels.ElewiseSpec("bias_add", rows*outDim, 2, 1))
+	}
+
+	outShape := make([]int, len(xs))
+	copy(outShape, xs)
+	outShape[len(outShape)-1] = outDim
+	inputs := []*Var{x, w}
+	if bias != nil {
+		inputs = append(inputs, bias)
+	}
+	out := c.out(outShape, inputs...)
+	if out.Value.Abstract() {
+		return out
+	}
+
+	matmulNN(out.Value.Data(), x.Value.Data(), w.Value.Data(), rows, in, outDim)
+	if bias != nil {
+		od := out.Value.Data()
+		bd := bias.Value.Data()
+		for r := 0; r < rows; r++ {
+			row := od[r*outDim : (r+1)*outDim]
+			for j := range row {
+				row[j] += bd[j]
+			}
+		}
+	}
+	if c.taping(inputs...) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			if x.NeedGrad {
+				matmulNT(x.EnsureGrad().Data(), g, w.Value.Data(), rows, outDim, in)
+			}
+			if w.NeedGrad {
+				matmulTN(w.EnsureGrad().Data(), x.Value.Data(), g, rows, in, outDim)
+			}
+			if bias != nil && bias.NeedGrad {
+				bg := bias.EnsureGrad().Data()
+				for r := 0; r < rows; r++ {
+					row := g[r*outDim : (r+1)*outDim]
+					for j := range row {
+						bg[j] += row[j]
+					}
+				}
+			}
+		})
+	}
+	return out
+}

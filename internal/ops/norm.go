@@ -1,0 +1,144 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"mmbench/internal/kernels"
+)
+
+// LayerNorm normalizes over the last dimension and applies the affine
+// transform gamma, beta (both shaped [lastDim]).
+func (c *Ctx) LayerNorm(x, gamma, beta *Var, eps float32) *Var {
+	xs := x.Value.Shape()
+	d := xs[len(xs)-1]
+	if gamma.Value.Size() != d || beta.Value.Size() != d {
+		panic(fmt.Sprintf("ops: LayerNorm affine size %d/%d for feature dim %d", gamma.Value.Size(), beta.Value.Size(), d))
+	}
+	rows := x.Value.Size() / d
+	c.emit(kernels.BNormSpec("layer_norm", rows*d))
+	out := c.out(xs, x, gamma, beta)
+	if out.Value.Abstract() {
+		return out
+	}
+
+	xd, od := x.Value.Data(), out.Value.Data()
+	gd, bd := gamma.Value.Data(), beta.Value.Data()
+	xhat := make([]float32, rows*d)
+	invStd := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		row := xd[r*d : (r+1)*d]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(d)
+		var varSum float64
+		for _, v := range row {
+			dv := float64(v) - mean
+			varSum += dv * dv
+		}
+		is := float32(1 / math.Sqrt(varSum/float64(d)+float64(eps)))
+		invStd[r] = is
+		for j, v := range row {
+			xh := (v - float32(mean)) * is
+			xhat[r*d+j] = xh
+			od[r*d+j] = xh*gd[j] + bd[j]
+		}
+	}
+
+	if c.taping(x, gamma, beta) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			var xg, gg, bg []float32
+			if x.NeedGrad {
+				xg = x.EnsureGrad().Data()
+			}
+			if gamma.NeedGrad {
+				gg = gamma.EnsureGrad().Data()
+			}
+			if beta.NeedGrad {
+				bg = beta.EnsureGrad().Data()
+			}
+			for r := 0; r < rows; r++ {
+				// Means of gamma·g and gamma·g·xhat over the row.
+				var m1, m2 float64
+				for j := 0; j < d; j++ {
+					gj := float64(g[r*d+j]) * float64(gd[j])
+					m1 += gj
+					m2 += gj * float64(xhat[r*d+j])
+				}
+				m1 /= float64(d)
+				m2 /= float64(d)
+				for j := 0; j < d; j++ {
+					idx := r*d + j
+					if gg != nil {
+						gg[j] += g[idx] * xhat[idx]
+					}
+					if bg != nil {
+						bg[j] += g[idx]
+					}
+					if xg != nil {
+						gj := float64(g[idx]) * float64(gd[j])
+						xg[idx] += float32((gj - m1 - float64(xhat[idx])*m2)) * invStd[r]
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// BatchNorm2D normalizes [N,C,H,W] per channel using batch statistics and
+// applies the affine transform gamma, beta (both [C]).
+//
+// BatchNorm2D supports forward and analytic execution only; MMBench's
+// trainable workload variants use normalization-free encoders or LayerNorm,
+// while BatchNorm appears in the paper-scale profiling variants (VGG,
+// ResNet, U-Net). Attaching a tape to a graph containing BatchNorm2D
+// panics.
+func (c *Ctx) BatchNorm2D(x, gamma, beta *Var, eps float32) *Var {
+	assertRank(x, 4, "BatchNorm2D")
+	n, ch, h, w := x.Value.Dim(0), x.Value.Dim(1), x.Value.Dim(2), x.Value.Dim(3)
+	if gamma.Value.Size() != ch || beta.Value.Size() != ch {
+		panic(fmt.Sprintf("ops: BatchNorm2D affine size %d/%d for %d channels", gamma.Value.Size(), beta.Value.Size(), ch))
+	}
+	c.emit(kernels.BNormSpec("batch_norm2d", n*ch*h*w))
+	if c.taping(x, gamma, beta) {
+		panic("ops: BatchNorm2D does not support backward; use LayerNorm or norm-free encoders in trainable variants")
+	}
+	out := c.out([]int{n, ch, h, w}, x, gamma, beta)
+	if out.Value.Abstract() {
+		return out
+	}
+	plane := h * w
+	xd, od := x.Value.Data(), out.Value.Data()
+	gd, bd := gamma.Value.Data(), beta.Value.Data()
+	for ci := 0; ci < ch; ci++ {
+		var mean float64
+		for ni := 0; ni < n; ni++ {
+			base := (ni*ch + ci) * plane
+			for i := 0; i < plane; i++ {
+				mean += float64(xd[base+i])
+			}
+		}
+		count := float64(n * plane)
+		mean /= count
+		var varSum float64
+		for ni := 0; ni < n; ni++ {
+			base := (ni*ch + ci) * plane
+			for i := 0; i < plane; i++ {
+				dv := float64(xd[base+i]) - mean
+				varSum += dv * dv
+			}
+		}
+		invStd := float32(1 / math.Sqrt(varSum/count+float64(eps)))
+		for ni := 0; ni < n; ni++ {
+			base := (ni*ch + ci) * plane
+			for i := 0; i < plane; i++ {
+				od[base+i] = (xd[base+i]-float32(mean))*invStd*gd[ci] + bd[ci]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"mmbench/internal/kernels"
+	"mmbench/internal/tensor"
+)
+
+// Softmax applies softmax over the last dimension.
+func (c *Ctx) Softmax(x *Var) *Var {
+	s := x.Value.Shape()
+	d := s[len(s)-1]
+	rows := x.Value.Size() / d
+	c.emit(kernels.SoftmaxSpec("softmax", rows, d))
+	out := c.out(s, x)
+	if out.Value.Abstract() {
+		return out
+	}
+	xd, od := x.Value.Data(), out.Value.Data()
+	softmaxRows(xd, od, rows, d)
+	if c.taping(x) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			xg := x.EnsureGrad().Data()
+			for r := 0; r < rows; r++ {
+				var dot float64
+				for j := 0; j < d; j++ {
+					dot += float64(g[r*d+j]) * float64(od[r*d+j])
+				}
+				for j := 0; j < d; j++ {
+					idx := r*d + j
+					xg[idx] += od[idx] * (g[idx] - float32(dot))
+				}
+			}
+		})
+	}
+	return out
+}
+
+func softmaxRows(x, out []float32, rows, d int) {
+	for r := 0; r < rows; r++ {
+		row := x[r*d : (r+1)*d]
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		o := out[r*d : (r+1)*d]
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			o[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range o {
+			o[j] *= inv
+		}
+	}
+}
+
+// CrossEntropy computes mean softmax cross-entropy between logits [B,K] and
+// integer labels, returning a scalar loss.
+func (c *Ctx) CrossEntropy(logits *Var, labels []int) *Var {
+	assertRank(logits, 2, "CrossEntropy")
+	b, k := logits.Value.Dim(0), logits.Value.Dim(1)
+	if len(labels) != b {
+		panic(fmt.Sprintf("ops: CrossEntropy %d labels for batch %d", len(labels), b))
+	}
+	c.emit(kernels.SoftmaxSpec("softmax_xent", b, k))
+	c.emit(kernels.ReduceSpec("xent_mean", b*k, 1))
+	out := c.out([]int{1}, logits)
+	if out.Value.Abstract() {
+		return out
+	}
+	probs := make([]float32, b*k)
+	softmaxRows(logits.Value.Data(), probs, b, k)
+	var loss float64
+	for i, lab := range labels {
+		if lab < 0 || lab >= k {
+			panic(fmt.Sprintf("ops: CrossEntropy label %d outside [0,%d)", lab, k))
+		}
+		loss -= math.Log(math.Max(float64(probs[i*k+lab]), 1e-12))
+	}
+	out.Value.Set(float32(loss/float64(b)), 0)
+	if c.taping(logits) {
+		c.tapeStep(out, func() {
+			g := out.Grad.At(0)
+			lg := logits.EnsureGrad().Data()
+			scale := g / float32(b)
+			for i := 0; i < b; i++ {
+				for j := 0; j < k; j++ {
+					delta := probs[i*k+j]
+					if j == labels[i] {
+						delta -= 1
+					}
+					lg[i*k+j] += scale * delta
+				}
+			}
+		})
+	}
+	return out
+}
+
+// BCEWithLogits computes mean binary cross-entropy between logits and 0/1
+// targets of identical shape, returning a scalar loss.
+func (c *Ctx) BCEWithLogits(logits *Var, targets *tensor.Tensor) *Var {
+	if !tensor.SameShape(logits.Value, targets) && !logits.Value.Abstract() {
+		panic(fmt.Sprintf("ops: BCEWithLogits shapes %v vs %v", logits.Value.Shape(), targets.Shape()))
+	}
+	n := logits.Value.Size()
+	c.emit(kernels.ElewiseSpec("bce_logits", n, 2, 6))
+	c.emit(kernels.ReduceSpec("bce_mean", n, 1))
+	out := c.out([]int{1}, logits)
+	if out.Value.Abstract() {
+		return out
+	}
+	xd, td := logits.Value.Data(), targets.Data()
+	var loss float64
+	sig := make([]float32, n)
+	for i := range xd {
+		s := 1 / (1 + math.Exp(-float64(xd[i])))
+		sig[i] = float32(s)
+		t := float64(td[i])
+		loss -= t*math.Log(math.Max(s, 1e-12)) + (1-t)*math.Log(math.Max(1-s, 1e-12))
+	}
+	out.Value.Set(float32(loss/float64(n)), 0)
+	if c.taping(logits) {
+		c.tapeStep(out, func() {
+			g := out.Grad.At(0)
+			lg := logits.EnsureGrad().Data()
+			scale := g / float32(n)
+			for i := range lg {
+				lg[i] += scale * (sig[i] - td[i])
+			}
+		})
+	}
+	return out
+}
+
+// MSE computes the mean squared error between pred and a constant target of
+// identical shape, returning a scalar loss.
+func (c *Ctx) MSE(pred *Var, target *tensor.Tensor) *Var {
+	if !tensor.SameShape(pred.Value, target) && !pred.Value.Abstract() {
+		panic(fmt.Sprintf("ops: MSE shapes %v vs %v", pred.Value.Shape(), target.Shape()))
+	}
+	n := pred.Value.Size()
+	c.emit(kernels.ElewiseSpec("mse_diff", n, 2, 3))
+	c.emit(kernels.ReduceSpec("mse_mean", n, 1))
+	out := c.out([]int{1}, pred)
+	if out.Value.Abstract() {
+		return out
+	}
+	pd, td := pred.Value.Data(), target.Data()
+	var loss float64
+	for i := range pd {
+		d := float64(pd[i]) - float64(td[i])
+		loss += d * d
+	}
+	out.Value.Set(float32(loss/float64(n)), 0)
+	if c.taping(pred) {
+		c.tapeStep(out, func() {
+			g := out.Grad.At(0)
+			pg := pred.EnsureGrad().Data()
+			scale := 2 * g / float32(n)
+			for i := range pg {
+				pg[i] += scale * (pd[i] - td[i])
+			}
+		})
+	}
+	return out
+}
+
+// DiceLoss computes 1 − soft Dice coefficient between sigmoid(logits) and a
+// binary mask of identical shape (used by the medical segmentation task).
+func (c *Ctx) DiceLoss(logits *Var, mask *tensor.Tensor) *Var {
+	if !tensor.SameShape(logits.Value, mask) && !logits.Value.Abstract() {
+		panic(fmt.Sprintf("ops: DiceLoss shapes %v vs %v", logits.Value.Shape(), mask.Shape()))
+	}
+	n := logits.Value.Size()
+	c.emit(kernels.ElewiseSpec("dice_sigmoid", n, 2, 5))
+	c.emit(kernels.ReduceSpec("dice_sums", 3*n, 1))
+	out := c.out([]int{1}, logits)
+	if out.Value.Abstract() {
+		return out
+	}
+	const eps = 1e-6
+	xd, md := logits.Value.Data(), mask.Data()
+	sig := make([]float32, n)
+	var inter, sumP, sumT float64
+	for i := range xd {
+		s := 1 / (1 + math.Exp(-float64(xd[i])))
+		sig[i] = float32(s)
+		inter += s * float64(md[i])
+		sumP += s
+		sumT += float64(md[i])
+	}
+	denom := sumP + sumT + eps
+	dice := (2*inter + eps) / denom
+	out.Value.Set(float32(1-dice), 0)
+	if c.taping(logits) {
+		c.tapeStep(out, func() {
+			g := out.Grad.At(0)
+			lg := logits.EnsureGrad().Data()
+			for i := range lg {
+				// d(1-dice)/dp_i, then chain through sigmoid.
+				dDice := (2*float64(md[i])*denom - (2*inter + eps)) / (denom * denom)
+				dSig := float64(sig[i]) * (1 - float64(sig[i]))
+				lg[i] += g * float32(-dDice*dSig)
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Sample", "A", "B")
+	t.AddRow("x", "1")
+	t.AddRow("y", "2")
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"## Sample", "A", "B", "x", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines %d", len(lines))
+	}
+	if lines[0] != "A,B" || lines[1] != "x,1" {
+		t.Fatalf("csv content %q", b.String())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Table
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Title != "Sample" || len(decoded.Rows) != 2 {
+		t.Fatalf("decoded %+v", decoded)
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	for _, f := range []string{"", "text", "csv", "json"} {
+		var b strings.Builder
+		if err := Render(&b, f, sample()); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+	}
+	var b strings.Builder
+	if err := Render(&b, "xml", sample()); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestAddRowPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity accepted")
+		}
+	}()
+	sample().AddRow("only-one")
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0) != "0" {
+		t.Errorf("F(0) = %q", F(0))
+	}
+	if F(1234) != "1234" {
+		t.Errorf("F(1234) = %q", F(1234))
+	}
+	if F(0.5) != "0.500" {
+		t.Errorf("F(0.5) = %q", F(0.5))
+	}
+	if Ms(0.001) != "1.000" {
+		t.Errorf("Ms = %q", Ms(0.001))
+	}
+	if Pct(0.5) != "50.0%" {
+		t.Errorf("Pct = %q", Pct(0.5))
+	}
+}

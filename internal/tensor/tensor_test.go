@@ -1,0 +1,241 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndSize(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", x.Size())
+	}
+	if x.Rank() != 3 {
+		t.Fatalf("Rank = %d, want 3", x.Rank())
+	}
+	if x.Bytes() != 96 {
+		t.Fatalf("Bytes = %d, want 96", x.Bytes())
+	}
+	if x.Abstract() {
+		t.Fatal("concrete tensor reported abstract")
+	}
+}
+
+func TestNewAbstract(t *testing.T) {
+	x := NewAbstract(8, 8)
+	if !x.Abstract() {
+		t.Fatal("abstract tensor reported concrete")
+	}
+	if x.Size() != 64 {
+		t.Fatalf("Size = %d, want 64", x.Size())
+	}
+	if x.Data() != nil {
+		t.Fatal("abstract tensor has data")
+	}
+	// Fill/Zero must be safe no-ops on abstract tensors.
+	x.Fill(1)
+	x.Zero()
+}
+
+func TestAtSetOffset(t *testing.T) {
+	x := New(2, 3)
+	x.Set(5, 1, 2)
+	if got := x.At(1, 2); got != 5 {
+		t.Fatalf("At(1,2) = %v, want 5", got)
+	}
+	if off := x.Offset(1, 2); off != 5 {
+		t.Fatalf("Offset(1,2) = %d, want 5", off)
+	}
+	if x.Data()[5] != 5 {
+		t.Fatal("Set did not write row-major offset")
+	}
+}
+
+func TestDimNegative(t *testing.T) {
+	x := New(2, 3, 7)
+	if x.Dim(-1) != 7 || x.Dim(-3) != 2 || x.Dim(1) != 3 {
+		t.Fatalf("Dim mismatch: %d %d %d", x.Dim(-1), x.Dim(-3), x.Dim(1))
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	x.Set(9, 1, 5)
+	y := x.Reshape(3, 4)
+	if y.At(2, 3) != 9 {
+		t.Fatalf("reshape does not share data: %v", y.At(2, 3))
+	}
+	z := x.Reshape(4, -1)
+	if z.Dim(1) != 3 {
+		t.Fatalf("inferred dim = %d, want 3", z.Dim(1))
+	}
+}
+
+func TestReshapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reshape with wrong element count did not panic")
+		}
+	}()
+	New(2, 3).Reshape(7)
+}
+
+func TestClone(t *testing.T) {
+	x := New(4)
+	x.Fill(3)
+	y := x.Clone()
+	y.Set(0, 0)
+	if x.At(0) != 3 {
+		t.Fatal("Clone shares storage")
+	}
+	a := NewAbstract(4).Clone()
+	if !a.Abstract() {
+		t.Fatal("clone of abstract tensor is concrete")
+	}
+}
+
+func TestOfAndFromSlice(t *testing.T) {
+	x := Of([]int{2, 2}, 1, 2, 3, 4)
+	if x.At(1, 0) != 3 {
+		t.Fatalf("Of: At(1,0)=%v", x.At(1, 0))
+	}
+	s := []float32{1, 2}
+	y := FromSlice(s, 2)
+	s[0] = 7
+	if y.At(0) != 7 {
+		t.Fatal("FromSlice must wrap, not copy")
+	}
+}
+
+func TestAddScaledSumMaxAbs(t *testing.T) {
+	x := Of([]int{3}, 1, -2, 3)
+	y := Of([]int{3}, 1, 1, 1)
+	x.AddScaled(y, 2)
+	if x.At(0) != 3 || x.At(1) != 0 || x.At(2) != 5 {
+		t.Fatalf("AddScaled result %v", x.Data())
+	}
+	if x.Sum() != 8 {
+		t.Fatalf("Sum = %v, want 8", x.Sum())
+	}
+	if x.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %v, want 5", x.MaxAbs())
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !SameShape(New(2, 3), New(2, 3)) {
+		t.Fatal("identical shapes reported different")
+	}
+	if SameShape(New(2, 3), New(3, 2)) {
+		t.Fatal("different shapes reported same")
+	}
+	if SameShape(New(2, 3), New(2, 3, 1)) {
+		t.Fatal("different ranks reported same")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if s := ShapeString([]int{3, 224, 224}); s != "3x224x224" {
+		t.Fatalf("ShapeString = %q", s)
+	}
+}
+
+// Property: Offset is a bijection onto [0, Size) for any valid shape.
+func TestOffsetBijectionProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		d0, d1, d2 := int(a%4)+1, int(b%4)+1, int(c%4)+1
+		x := New(d0, d1, d2)
+		seen := make(map[int]bool)
+		for i := 0; i < d0; i++ {
+			for j := 0; j < d1; j++ {
+				for k := 0; k < d2; k++ {
+					off := x.Offset(i, j, k)
+					if off < 0 || off >= x.Size() || seen[off] {
+						return false
+					}
+					seen[off] = true
+				}
+			}
+		}
+		return len(seen) == x.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reshape preserves the flat data sequence.
+func TestReshapePreservesDataProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%16) + 1
+		x := New(size, 3)
+		g := NewRNG(int64(n))
+		g.Uniform(x, -1, 1)
+		y := x.Reshape(3, size)
+		for i := range x.Data() {
+			if x.Data()[i] != y.Data()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	if NewRNG(1).Float64() == NewRNG(2).Float64() {
+		t.Fatal("different seeds produced identical first samples")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Split(1)
+	parent2 := NewRNG(7)
+	c2 := parent2.Split(1)
+	for i := 0; i < 10; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestXavierBounds(t *testing.T) {
+	g := NewRNG(3)
+	w := New(64, 64)
+	g.XavierUniform(w, 64, 64)
+	limit := float32(math.Sqrt(6.0 / 128.0))
+	for _, v := range w.Data() {
+		if v < -limit || v >= limit {
+			t.Fatalf("Xavier sample %v outside [-%v, %v)", v, limit, limit)
+		}
+	}
+}
+
+func TestKaimingMoments(t *testing.T) {
+	g := NewRNG(5)
+	w := New(10000)
+	g.KaimingNormal(w, 50)
+	mean := w.Sum() / float64(w.Size())
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("Kaiming mean %v too far from 0", mean)
+	}
+	var varSum float64
+	for _, v := range w.Data() {
+		varSum += float64(v) * float64(v)
+	}
+	std := math.Sqrt(varSum / float64(w.Size()))
+	want := math.Sqrt(2.0 / 50.0)
+	if math.Abs(std-want)/want > 0.1 {
+		t.Fatalf("Kaiming std %v, want ≈ %v", std, want)
+	}
+}

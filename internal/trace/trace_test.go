@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"testing"
+
+	"mmbench/internal/device"
+	"mmbench/internal/kernels"
+)
+
+func serverBuilder() *Builder {
+	return NewBuilder(device.RTX2080Ti(), []string{"image", "audio"})
+}
+
+func TestKernelPlacementByScope(t *testing.T) {
+	b := serverBuilder()
+	b.SetScope("encoder", "image")
+	b.Kernel(kernels.GemmSpec("g1", 64, 64, 64))
+	b.SetScope("encoder", "audio")
+	b.Kernel(kernels.GemmSpec("g2", 64, 64, 64))
+	b.SetScope("fusion", "")
+	b.Kernel(kernels.GemmSpec("g3", 64, 64, 64))
+	tr := b.Finish()
+	if len(tr.Kernels) != 3 {
+		t.Fatalf("%d kernels", len(tr.Kernels))
+	}
+	if tr.Kernels[0].Stream == tr.Kernels[1].Stream {
+		t.Error("different modalities share a stream")
+	}
+	if tr.Kernels[2].Stream != 0 {
+		t.Errorf("fusion kernel on stream %d, want 0", tr.Kernels[2].Stream)
+	}
+	if tr.Kernels[0].Stage != "encoder" || tr.Kernels[2].Stage != "fusion" {
+		t.Error("stage attribution wrong")
+	}
+}
+
+func TestStreamsOverlapOnServer(t *testing.T) {
+	b := serverBuilder()
+	spec := kernels.Conv2DSpec("c", 32, 64, 56, 56, 64, 3, 3)
+	b.SetScope("encoder", "image")
+	b.Kernel(spec)
+	b.SetScope("encoder", "audio")
+	b.Kernel(spec)
+	tr := b.Finish()
+	k0, k1 := tr.Kernels[0], tr.Kernels[1]
+	// With per-modality streams on a large GPU, the second kernel must
+	// start before the first ends (dispatch stagger aside).
+	if k1.Start >= k0.End {
+		t.Errorf("no overlap: k0 [%e,%e], k1 [%e,%e]", k0.Start, k0.End, k1.Start, k1.End)
+	}
+}
+
+func TestStreamsSerializeOnEdge(t *testing.T) {
+	b := NewBuilder(device.JetsonNano(), []string{"image", "audio"})
+	spec := kernels.Conv2DSpec("c", 32, 64, 56, 56, 64, 3, 3)
+	b.SetScope("encoder", "image")
+	b.Kernel(spec)
+	b.SetScope("encoder", "audio")
+	b.Kernel(spec)
+	tr := b.Finish()
+	k0, k1 := tr.Kernels[0], tr.Kernels[1]
+	if k1.Start < k0.End {
+		t.Errorf("edge streams overlapped: k0 ends %e, k1 starts %e", k0.End, k1.Start)
+	}
+}
+
+func TestBarrierJoinsStreams(t *testing.T) {
+	b := serverBuilder()
+	b.SetScope("encoder", "image")
+	b.Kernel(kernels.Conv2DSpec("big", 32, 64, 56, 56, 64, 3, 3))
+	b.SetScope("encoder", "audio")
+	b.Kernel(kernels.ElewiseSpec("small", 128, 1, 1))
+	b.SetScope("fusion", "")
+	b.Barrier("sync")
+	b.Kernel(kernels.GemmSpec("fuse", 8, 8, 8))
+	tr := b.Finish()
+	fuse := tr.Kernels[2]
+	for _, k := range tr.Kernels[:2] {
+		if fuse.Start < k.End {
+			t.Errorf("fusion kernel started at %e before encoder kernel ended at %e", fuse.Start, k.End)
+		}
+	}
+}
+
+func TestHostGatesStream(t *testing.T) {
+	b := serverBuilder()
+	b.SetScope("encoder", "image")
+	b.Host("preprocess", 1e9, 1e9, 3)
+	b.Kernel(kernels.GemmSpec("g", 64, 64, 64))
+	tr := b.Finish()
+	h := tr.Hosts[0]
+	k := tr.Kernels[0]
+	if k.Start < h.End {
+		t.Errorf("kernel started %e before its preprocess finished %e", k.Start, h.End)
+	}
+	if tr.HostBusy <= 0 {
+		t.Error("host busy time not recorded")
+	}
+}
+
+func TestKernelDispatchCostsHostTime(t *testing.T) {
+	b := serverBuilder()
+	b.SetScope("encoder", "image")
+	for i := 0; i < 10; i++ {
+		b.Kernel(kernels.ElewiseSpec("e", 64, 1, 1))
+	}
+	tr := b.Finish()
+	wantMin := 10 * device.RTX2080Ti().HostOpUs * dispatchHostFraction * 1e-6
+	if tr.HostBusy < wantMin*0.99 {
+		t.Errorf("host busy %e below dispatch cost %e", tr.HostBusy, wantMin)
+	}
+}
+
+func TestTransferAccounting(t *testing.T) {
+	b := serverBuilder()
+	b.SetScope("encoder", "image")
+	b.Transfer("h2d", 100<<20)
+	tr := b.Finish()
+	if len(tr.Transfers) != 1 {
+		t.Fatalf("%d transfers", len(tr.Transfers))
+	}
+	if tr.TransferSeconds <= 0 {
+		t.Error("no transfer time recorded")
+	}
+	if tr.Wall < tr.TransferSeconds {
+		t.Error("wall time below transfer time")
+	}
+}
+
+func TestGPUBusyAndStreamBusy(t *testing.T) {
+	b := serverBuilder()
+	b.SetScope("encoder", "image")
+	b.Kernel(kernels.GemmSpec("g", 256, 256, 256))
+	b.SetScope("encoder", "audio")
+	b.Kernel(kernels.GemmSpec("g", 256, 256, 256))
+	tr := b.Finish()
+	if tr.GPUBusy() <= 0 {
+		t.Fatal("no GPU busy time")
+	}
+	if len(tr.StreamBusy) != 2 {
+		t.Fatalf("stream busy map %v", tr.StreamBusy)
+	}
+}
+
+func TestStreamEnd(t *testing.T) {
+	b := serverBuilder()
+	b.SetScope("encoder", "image")
+	b.Kernel(kernels.GemmSpec("g", 512, 512, 512))
+	if b.StreamEnd("image") <= 0 {
+		t.Error("StreamEnd image = 0")
+	}
+	if b.StreamEnd("audio") > b.StreamEnd("image") {
+		t.Error("idle stream ahead of busy stream")
+	}
+}
+
+func TestWallCoversEverything(t *testing.T) {
+	b := serverBuilder()
+	b.SetScope("encoder", "image")
+	b.Host("pre", 0, 0, 2)
+	b.Kernel(kernels.GemmSpec("g", 128, 128, 128))
+	b.SetScope("fusion", "")
+	b.Barrier("sync")
+	b.Kernel(kernels.GemmSpec("f", 8, 8, 8))
+	tr := b.Finish()
+	for _, k := range tr.Kernels {
+		if k.End > tr.Wall {
+			t.Errorf("kernel ends %e after wall %e", k.End, tr.Wall)
+		}
+	}
+	if tr.String() == "" {
+		t.Error("empty trace description")
+	}
+}

@@ -1,0 +1,434 @@
+package workloads
+
+import (
+	"mmbench/internal/data"
+	"mmbench/internal/models"
+	"mmbench/internal/tensor"
+)
+
+// encDim is the per-modality feature width (trainable / profile).
+func encDim(profile bool) int { return pick(profile, 48, 128) }
+
+func dense(name string, raw int64, shape ...int) data.ModalitySpec {
+	return data.ModalitySpec{Name: name, Kind: data.Dense, Shape: shape, RawBytes: raw}
+}
+
+func tokens(name string, t, vocab int, raw int64) data.ModalitySpec {
+	return data.ModalitySpec{Name: name, Kind: data.Tokens, Shape: []int{t}, Vocab: vocab, RawBytes: raw}
+}
+
+func init() {
+	registerAVMNIST()
+	registerMMIMDB()
+	registerMOSEI()
+	registerMUStARD()
+	registerMedVQA()
+	registerMedSeg()
+	registerPush()
+	registerVisionTouch()
+	registerTransFuser()
+}
+
+// AV-MNIST: handwritten digit images + spoken digit spectrograms, both
+// encoded by LeNet (the paper's smallest workload).
+func registerAVMNIST() {
+	register(&builder{
+		info: Info{
+			Name:       "avmnist",
+			Domain:     "Multimedia",
+			Task:       data.Classify,
+			ModelSize:  "Small",
+			Modalities: []string{"image", "audio"},
+			Encoders:   "LeNet ×2",
+			Fusions:    []string{"concat", "tensor", "sum", "zero", "attention", "glu", "lf"},
+			Major:      "image",
+			Mix:        data.Mixture{MajorFrac: 0.782, MinorFrac: 0.14, EitherFrac: 0.047}, // 3.1% fusion-required
+		},
+		build: func(profile bool, seed int64) (*data.Generator, []models.Encoder) {
+			g := tensor.NewRNG(seed)
+			specs := []data.ModalitySpec{
+				dense("image", 28*28*2, 1, 28, 28),
+				dense("audio", 20*20*8, 1, 20, 20),
+			}
+			gen := data.NewGenerator("avmnist", specs, data.Classify, 10, seed)
+			d := encDim(profile)
+			if profile {
+				// The profile flavour pools features globally so the
+				// encoder stage carries Reduce-class kernels (Figure 9).
+				return gen, []models.Encoder{
+					models.NewLeNetGAP(g.Split(1), 1, 28, 28, d),
+					models.NewLeNetGAP(g.Split(2), 1, 20, 20, d),
+				}
+			}
+			return gen, []models.Encoder{
+				models.NewLeNet(g.Split(1), 1, 28, 28, d),
+				models.NewLeNet(g.Split(2), 1, 20, 20, d),
+			}
+		},
+		classes: func(bool) int { return 10 },
+		head:    classifierHead(10),
+	})
+}
+
+// MM-IMDB: movie poster (VGG) + plot text (ALBERT) multi-label genre
+// classification.
+func registerMMIMDB() {
+	register(&builder{
+		info: Info{
+			Name:       "mmimdb",
+			Domain:     "Multimedia",
+			Task:       data.MultiLabel,
+			ModelSize:  "Large",
+			Modalities: []string{"image", "text"},
+			Encoders:   "VGG-11, ALBERT-lite",
+			Fusions:    []string{"concat", "tensor", "glu"},
+			Major:      "image",
+			Mix:        data.Mixture{MajorFrac: 0.863, MinorFrac: 0.07, EitherFrac: 0.029}, // 3.8% fusion-required
+		},
+		build: func(profile bool, seed int64) (*data.Generator, []models.Encoder) {
+			g := tensor.NewRNG(seed)
+			d := encDim(profile)
+			if profile {
+				specs := []data.ModalitySpec{
+					dense("image", 3*160*160, 3, 160, 160),
+					tokens("text", 128, 8000, 2048),
+				}
+				gen := data.NewGenerator("mmimdb", specs, data.MultiLabel, 23, seed)
+				return gen, []models.Encoder{
+					models.NewVGG(g.Split(1), 3, 160, 160, models.VGG11Config(), true, d),
+					models.NewTextTransformer(g.Split(2), 8000, 128, 256, 4, 8, d),
+				}
+			}
+			specs := []data.ModalitySpec{
+				dense("image", 3*32*32, 3, 32, 32),
+				tokens("text", 16, 120, 256),
+			}
+			gen := data.NewGenerator("mmimdb", specs, data.MultiLabel, 23, seed)
+			return gen, []models.Encoder{
+				models.NewCNNEncoder(g.Split(1), 3, 32, 32, []int{8, 16}, d),
+				models.NewBagEncoder(g.Split(2), 120, 32, d),
+			}
+		},
+		classes: func(bool) int { return 23 },
+		head:    classifierHead(23),
+	})
+}
+
+// CMU-MOSEI: sentence-level sentiment from language + facial features +
+// acoustic features. The trainable variant binarizes sentiment (the
+// accuracy metric reported by the paper's Figure 4).
+func registerMOSEI() {
+	register(&builder{
+		info: Info{
+			Name:       "mosei",
+			Domain:     "Affective Computing",
+			Task:       data.Classify,
+			ModelSize:  "Large",
+			Modalities: []string{"text", "vision", "audio"},
+			Encoders:   "BERT-lite, OpenFace-LSTM, Librosa-LSTM",
+			Fusions:    []string{"concat", "tensor", "transformer"},
+			Major:      "text",
+			Mix:        data.Mixture{MajorFrac: 0.829, MinorFrac: 0.08, EitherFrac: 0.042}, // 4.9% fusion-required
+		},
+		build: func(profile bool, seed int64) (*data.Generator, []models.Encoder) {
+			g := tensor.NewRNG(seed)
+			d := encDim(profile)
+			if profile {
+				specs := []data.ModalitySpec{
+					tokens("text", 50, 8000, 1024),
+					dense("vision", 50*35*32, 50, 35),
+					dense("audio", 50*74*32, 50, 74),
+				}
+				gen := data.NewGenerator("mosei", specs, data.Classify, 2, seed)
+				return gen, []models.Encoder{
+					models.NewTextTransformer(g.Split(1), 8000, 50, 256, 4, 8, d),
+					models.NewLSTMEncoder(g.Split(2), 35, d),
+					models.NewLSTMEncoder(g.Split(3), 74, d),
+				}
+			}
+			specs := []data.ModalitySpec{
+				tokens("text", 12, 120, 256),
+				dense("vision", 8*12*8, 8, 12),
+				dense("audio", 8*16*8, 8, 16),
+			}
+			gen := data.NewGenerator("mosei", specs, data.Classify, 2, seed)
+			return gen, []models.Encoder{
+				models.NewTextTransformer(g.Split(1), 120, 12, 32, 1, 2, d),
+				models.NewLSTMEncoder(g.Split(2), 12, d),
+				models.NewLSTMEncoder(g.Split(3), 16, d),
+			}
+		},
+		classes: func(bool) int { return 2 },
+		head:    classifierHead(2),
+	})
+}
+
+// MUStARD: sarcasm detection from language + facial + acoustic features.
+func registerMUStARD() {
+	register(&builder{
+		info: Info{
+			Name:       "mustard",
+			Domain:     "Affective Computing",
+			Task:       data.Classify,
+			ModelSize:  "Large",
+			Modalities: []string{"text", "vision", "audio"},
+			Encoders:   "BERT-lite, OpenFace-LSTM, Librosa-LSTM",
+			Fusions:    []string{"concat", "tensor", "transformer"},
+			Major:      "text",
+			Mix:        data.Mixture{MajorFrac: 0.754, MinorFrac: 0.15, EitherFrac: 0.046}, // 5.0% fusion-required
+		},
+		build: func(profile bool, seed int64) (*data.Generator, []models.Encoder) {
+			g := tensor.NewRNG(seed)
+			d := encDim(profile)
+			if profile {
+				specs := []data.ModalitySpec{
+					tokens("text", 50, 8000, 1024),
+					dense("vision", 50*371*16, 50, 371),
+					dense("audio", 50*81*16, 50, 81),
+				}
+				gen := data.NewGenerator("mustard", specs, data.Classify, 2, seed)
+				return gen, []models.Encoder{
+					models.NewTextTransformer(g.Split(1), 8000, 50, 256, 4, 8, d),
+					models.NewLSTMEncoder(g.Split(2), 371, d),
+					models.NewLSTMEncoder(g.Split(3), 81, d),
+				}
+			}
+			specs := []data.ModalitySpec{
+				tokens("text", 12, 120, 256),
+				dense("vision", 8*16*8, 8, 16),
+				dense("audio", 8*12*8, 8, 12),
+			}
+			gen := data.NewGenerator("mustard", specs, data.Classify, 2, seed)
+			return gen, []models.Encoder{
+				models.NewTextTransformer(g.Split(1), 120, 12, 32, 1, 2, d),
+				models.NewLSTMEncoder(g.Split(2), 16, d),
+				models.NewLSTMEncoder(g.Split(3), 12, d),
+			}
+		},
+		classes: func(bool) int { return 2 },
+		head:    classifierHead(2),
+	})
+}
+
+// Medical VQA: radiology image (DenseNet) + clinical question
+// (RoBERTa-lite) answer selection; the paper's generation task is reduced
+// to answer classification over a fixed candidate set.
+func registerMedVQA() {
+	register(&builder{
+		info: Info{
+			Name:        "medvqa",
+			HeavyFusion: true,
+			Domain:      "Intelligent Medicine",
+			Task:        data.Classify,
+			ModelSize:   "Large",
+			Modalities:  []string{"image", "question"},
+			Encoders:    "DenseNet-lite, RoBERTa-lite",
+			Fusions:     []string{"transformer", "concat"},
+			Major:       "image",
+			Mix:         data.Mixture{MajorFrac: 0.76, MinorFrac: 0.15, EitherFrac: 0.05},
+		},
+		build: func(profile bool, seed int64) (*data.Generator, []models.Encoder) {
+			g := tensor.NewRNG(seed)
+			d := encDim(profile)
+			classes := pick(profile, 8, 32)
+			if profile {
+				specs := []data.ModalitySpec{
+					dense("image", 3*224*224, 3, 224, 224),
+					tokens("question", 32, 8000, 512),
+				}
+				gen := data.NewGenerator("medvqa", specs, data.Classify, classes, seed)
+				return gen, []models.Encoder{
+					models.NewDenseNet(g.Split(1), 3, 224, 224, 3, 4, 24, true, d),
+					models.NewTextTransformer(g.Split(2), 8000, 32, 256, 4, 8, d),
+				}
+			}
+			specs := []data.ModalitySpec{
+				dense("image", 3*32*32, 3, 32, 32),
+				tokens("question", 12, 120, 256),
+			}
+			gen := data.NewGenerator("medvqa", specs, data.Classify, classes, seed)
+			return gen, []models.Encoder{
+				models.NewCNNEncoder(g.Split(1), 3, 32, 32, []int{8, 16}, d),
+				models.NewTextTransformer(g.Split(2), 120, 12, 32, 1, 2, d),
+			}
+		},
+		classes: func(profile bool) int { return pick(profile, 8, 32) },
+		head: func(g *tensor.RNG, in int, profile bool) models.Head {
+			return models.NewClassifierHead(g, in, pick(profile, 64, 128), pick(profile, 8, 32))
+		},
+	})
+}
+
+// Medical segmentation: four MRI contrasts (T1, T1c, T2, Flair) encoded by
+// U-Net stems, fused at the bottleneck by a transformer, decoded to a
+// tumor mask.
+func registerMedSeg() {
+	register(&builder{
+		info: Info{
+			Name:        "medseg",
+			HeavyFusion: true,
+			Domain:      "Intelligent Medicine",
+			Task:        data.Segment,
+			ModelSize:   "Medium",
+			Modalities:  []string{"t1", "t1c", "t2", "flair"},
+			Encoders:    "U-Net stems ×4",
+			Fusions:     []string{"transformer", "concat"},
+			Major:       "flair",
+			Mix:         data.DefaultMixture(),
+		},
+		build: func(profile bool, seed int64) (*data.Generator, []models.Encoder) {
+			g := tensor.NewRNG(seed)
+			d := encDim(profile)
+			size := pick(profile, 16, 64)
+			widths := pick(profile, []int{8, 16}, []int{32, 64, 128})
+			names := []string{"t1", "t1c", "t2", "flair"}
+			specs := make([]data.ModalitySpec, len(names))
+			for i, n := range names {
+				specs[i] = dense(n, int64(size*size*4), 1, size, size)
+			}
+			gen := data.NewGenerator("medseg", specs, data.Segment, 1, seed)
+			encs := make([]models.Encoder, len(names))
+			for i := range names {
+				encs[i] = models.NewUNetStem(g.Split(int64(i)), 1, size, size, widths, d)
+			}
+			return gen, encs
+		},
+		classes: func(bool) int { return 1 },
+		head: func(g *tensor.RNG, in int, profile bool) models.Head {
+			if profile {
+				return models.NewSegDecoderHead(g, in, 64, 8, 3) // 8·2³ = 64
+			}
+			return models.NewSegDecoderHead(g, in, 32, 4, 2) // 4·2² = 16
+		},
+	})
+}
+
+// MuJoCo Push: predict the pushed object's pose from proprioception,
+// force sensors, an RGB camera and the control signal.
+func registerPush() {
+	register(&builder{
+		info: Info{
+			Name:        "push",
+			HeavyFusion: true,
+			Domain:      "Smart Robotics",
+			Task:        data.Regress,
+			ModelSize:   "Medium",
+			Modalities:  []string{"position", "sensor", "image", "control"},
+			Encoders:    "MLP ×3, CNN",
+			// Transformer first: the paper's Figure 6/7 measurements use
+			// the complex transformer fusion for MuJoCo Push.
+			Fusions: []string{"transformer", "concat", "tensor", "lf"},
+			Major:   "image",
+			Mix:     data.DefaultMixture(),
+		},
+		build: func(profile bool, seed int64) (*data.Generator, []models.Encoder) {
+			g := tensor.NewRNG(seed)
+			d := encDim(profile)
+			img := pick(profile, 32, 64)
+			specs := []data.ModalitySpec{
+				dense("position", 16*3*8, 16, 3),
+				dense("sensor", 16*7*8, 16, 7),
+				dense("image", int64(img*img*4), 1, img, img),
+				dense("control", 16*7*8, 16, 7),
+			}
+			gen := data.NewGenerator("push", specs, data.Regress, 2, seed)
+			return gen, []models.Encoder{
+				models.NewMLPEncoder(g.Split(1), 16*3, 64, d),
+				models.NewMLPEncoder(g.Split(2), 16*7, 64, d),
+				models.NewCNNEncoder(g.Split(3), 1, img, img, pick(profile, []int{8, 16}, []int{16, 32, 64}), d),
+				models.NewMLPEncoder(g.Split(4), 16*7, 64, d),
+			}
+		},
+		classes: func(bool) int { return 2 },
+		head:    regressorHead(2),
+	})
+}
+
+// Vision & Touch: contact prediction from RGB, force, proprioception and
+// depth.
+func registerVisionTouch() {
+	register(&builder{
+		info: Info{
+			Name:        "vnt",
+			HeavyFusion: true,
+			Domain:      "Smart Robotics",
+			Task:        data.Classify,
+			ModelSize:   "Medium",
+			Modalities:  []string{"image", "force", "proprio", "depth"},
+			Encoders:    "CNN ×2, MLP ×2",
+			// Transformer first: the paper's Figure 6 groups Vision &
+			// Touch with MuJoCo Push under complex transformer fusion.
+			Fusions: []string{"transformer", "concat", "tensor"},
+			Major:   "image",
+			Mix:     data.DefaultMixture(),
+		},
+		build: func(profile bool, seed int64) (*data.Generator, []models.Encoder) {
+			g := tensor.NewRNG(seed)
+			d := encDim(profile)
+			img := pick(profile, 32, 128)
+			specs := []data.ModalitySpec{
+				dense("image", int64(3*img*img), 3, img, img),
+				dense("force", 32*6*8, 32, 6),
+				dense("proprio", 8*8, 8),
+				dense("depth", int64(img*img*2), 1, img, img),
+			}
+			gen := data.NewGenerator("vnt", specs, data.Classify, 2, seed)
+			return gen, []models.Encoder{
+				models.NewCNNEncoder(g.Split(1), 3, img, img, pick(profile, []int{8, 16}, []int{16, 32, 64}), d),
+				models.NewMLPEncoder(g.Split(2), 32*6, 64, d),
+				models.NewMLPEncoder(g.Split(3), 8, 32, d),
+				models.NewCNNEncoder(g.Split(4), 1, img, img, pick(profile, []int{8, 16}, []int{16, 32, 64}), d),
+			}
+		},
+		classes: func(bool) int { return 2 },
+		head:    classifierHead(2),
+	})
+}
+
+// TransFuser: end-to-end driving from a front camera and a LiDAR BEV
+// projection, fused by transformers, predicting waypoints with an
+// auto-regressive GRU.
+func registerTransFuser() {
+	register(&builder{
+		info: Info{
+			Name:        "transfuser",
+			HeavyFusion: true,
+			Domain:      "Automatic Driving",
+			Task:        data.Regress,
+			ModelSize:   "Medium",
+			Modalities:  []string{"image", "lidar"},
+			Encoders:    "ResNet ×2",
+			Fusions:     []string{"transformer", "concat", "tensor"},
+			Major:       "image",
+			Mix:         data.DefaultMixture(),
+		},
+		build: func(profile bool, seed int64) (*data.Generator, []models.Encoder) {
+			g := tensor.NewRNG(seed)
+			d := encDim(profile)
+			if profile {
+				specs := []data.ModalitySpec{
+					dense("image", 3*256*256, 3, 256, 256),
+					dense("lidar", 2*256*256*4, 2, 256, 256),
+				}
+				gen := data.NewGenerator("transfuser", specs, data.Regress, 8, seed)
+				return gen, []models.Encoder{
+					models.NewResNet(g.Split(1), 3, 256, 256, []int{2, 2, 2, 2}, []int{32, 64, 128, 256}, true, d),
+					models.NewResNet(g.Split(2), 2, 256, 256, []int{2, 2, 2, 2}, []int{32, 64, 128, 256}, true, d),
+				}
+			}
+			specs := []data.ModalitySpec{
+				dense("image", 3*32*32, 3, 32, 32),
+				dense("lidar", 2*32*32*4, 2, 32, 32),
+			}
+			gen := data.NewGenerator("transfuser", specs, data.Regress, 8, seed)
+			return gen, []models.Encoder{
+				models.NewCNNEncoder(g.Split(1), 3, 32, 32, []int{8, 16}, d),
+				models.NewCNNEncoder(g.Split(2), 2, 32, 32, []int{8, 16}, d),
+			}
+		},
+		classes: func(bool) int { return 8 },
+		head: func(g *tensor.RNG, in int, profile bool) models.Head {
+			return models.NewWaypointHead(g, in, pick(profile, 48, 64), 4)
+		},
+	})
+}

@@ -1,0 +1,203 @@
+// Package workloads assembles the nine end-to-end multi-modal applications
+// of the paper's Table 3. Every workload comes in two flavours:
+//
+//   - the trainable variant uses scaled-down shapes and norm-free encoders
+//     so the algorithm-level experiments (Figures 4, 5) train in seconds on
+//     a CPU;
+//   - the profile variant uses paper-scale shapes and full encoder
+//     topologies (VGG-11, ResNet, DenseNet, ALBERT/BERT-lite, U-Net) and is
+//     run in analytic mode for the system/architecture experiments
+//     (Figures 6–15).
+//
+// Variants are selected by fusion method name (Table 1) or "uni:<modality>"
+// for a uni-modal baseline.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mmbench/internal/data"
+	"mmbench/internal/fusion"
+	"mmbench/internal/mmnet"
+	"mmbench/internal/models"
+	"mmbench/internal/tensor"
+)
+
+// Info describes one workload (a row of Table 3).
+type Info struct {
+	Name       string
+	Domain     string
+	Task       data.Task
+	ModelSize  string
+	Modalities []string
+	Encoders   string
+	Fusions    []string
+	// Major is the dominant modality of the paper's Figure 5, with the
+	// measured solvability mixture.
+	Major string
+	Mix   data.Mixture
+	// HeavyFusion marks workloads whose paper-scale fusion network is
+	// comparable to or larger than their encoders (the paper measures
+	// fusion exceeding encoder time on MuJoCo Push and Vision & Touch).
+	HeavyFusion bool
+}
+
+type builder struct {
+	info  Info
+	build func(profile bool, seed int64) (*data.Generator, []models.Encoder)
+	// classes is the label/target dimensionality (per variant).
+	classes func(profile bool) int
+	// head builds the task head given fused width.
+	head func(g *tensor.RNG, fusedDim int, profile bool) models.Head
+}
+
+var registry = map[string]*builder{}
+
+// Names returns all workload names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns a workload's Info.
+func Get(name string) (Info, error) {
+	b, ok := registry[name]
+	if !ok {
+		return Info{}, fmt.Errorf("workloads: unknown workload %q (want one of %v)", name, Names())
+	}
+	return b.info, nil
+}
+
+// Variants returns all variant names for a workload: its fusion methods
+// plus one "uni:<modality>" per modality.
+func Variants(name string) ([]string, error) {
+	info, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	vs := append([]string{}, info.Fusions...)
+	for _, m := range info.Modalities {
+		vs = append(vs, "uni:"+m)
+	}
+	return vs, nil
+}
+
+// fusedDim is the common fused-feature width.
+const fusedDim = 64
+
+// Build constructs one workload variant. variant is a fusion method name
+// from the workload's Fusions list or "uni:<modality>"; profile selects the
+// paper-scale flavour.
+func Build(name, variant string, profile bool, seed int64) (*mmnet.Network, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (want one of %v)", name, Names())
+	}
+	gen, encoders := b.build(profile, seed)
+	gen.Mix = b.info.Mix
+	for i, m := range gen.Specs {
+		if m.Name == b.info.Major {
+			gen.MajorIdx = i
+			gen.MinorIdx = (i + 1) % len(gen.Specs)
+		}
+	}
+
+	g := tensor.NewRNG(seed).Split(999)
+	modalities := make([]string, len(gen.Specs))
+	for i, s := range gen.Specs {
+		modalities[i] = s.Name
+	}
+
+	if uni, found := strings.CutPrefix(variant, "uni:"); found {
+		idx := -1
+		for i, m := range modalities {
+			if m == uni {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("workloads: %s has no modality %q", name, uni)
+		}
+		enc := encoders[idx]
+		fus := fusion.NewSum(g, []int{enc.OutDim()}, fusedDim)
+		n := &mmnet.Network{
+			Name:       name + "/" + variant,
+			Modalities: []string{uni},
+			Encoders:   []models.Encoder{enc},
+			Fusion:     fus,
+			Head:       b.head(g.Split(5), fusedDim, profile),
+			Task:       b.info.Task,
+			Gen:        gen,
+		}
+		return n, n.Validate()
+	}
+
+	supported := false
+	for _, f := range b.info.Fusions {
+		if f == variant {
+			supported = true
+		}
+	}
+	if !supported {
+		return nil, fmt.Errorf("workloads: %s does not support fusion %q (want %v or uni:<modality>)", name, variant, b.info.Fusions)
+	}
+	dims := make([]int, len(encoders))
+	for i, e := range encoders {
+		dims[i] = e.OutDim()
+	}
+	fcfg := fusion.DefaultConfig()
+	if profile {
+		if b.info.HeavyFusion {
+			fcfg = fusion.ProfileConfig()
+		} else {
+			fcfg = fusion.LightProfileConfig()
+		}
+	}
+	fus, err := fusion.NewWithConfig(variant, g, dims, fusedDim, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &mmnet.Network{
+		Name:       name + "/" + variant,
+		Modalities: modalities,
+		Encoders:   encoders,
+		Fusion:     fus,
+		Head:       b.head(g.Split(5), fusedDim, profile),
+		Task:       b.info.Task,
+		Gen:        gen,
+	}
+	return n, n.Validate()
+}
+
+// pick returns t when profile is false, p when true.
+func pick[T any](profile bool, t, p T) T {
+	if profile {
+		return p
+	}
+	return t
+}
+
+func classifierHead(classes int) func(*tensor.RNG, int, bool) models.Head {
+	return func(g *tensor.RNG, in int, profile bool) models.Head {
+		return models.NewClassifierHead(g, in, pick(profile, 64, 128), classes)
+	}
+}
+
+func regressorHead(out int) func(*tensor.RNG, int, bool) models.Head {
+	return func(g *tensor.RNG, in int, profile bool) models.Head {
+		return models.NewRegressorHead(g, in, pick(profile, 64, 128), out)
+	}
+}
+
+func register(b *builder) {
+	if _, dup := registry[b.info.Name]; dup {
+		panic("workloads: duplicate registration of " + b.info.Name)
+	}
+	registry[b.info.Name] = b
+}

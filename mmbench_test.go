@@ -1,0 +1,140 @@
+package mmbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadsComplete(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 9 {
+		t.Fatalf("%d workloads, want 9", len(ws))
+	}
+	for _, w := range ws {
+		if w.Domain == "" || w.Task == "" || len(w.Modalities) == 0 || len(w.Variants) == 0 {
+			t.Errorf("incomplete workload %+v", w)
+		}
+	}
+}
+
+func TestDevicesAndFusions(t *testing.T) {
+	devs := Devices()
+	if len(devs) != 3 {
+		t.Fatalf("devices %v", devs)
+	}
+	if len(FusionMethods()) != 8 {
+		t.Fatalf("fusion methods %v", FusionMethods())
+	}
+	if len(KernelClasses()) != 8 {
+		t.Fatalf("kernel classes %v", KernelClasses())
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	rep, err := Run(RunConfig{Workload: "avmnist", PaperScale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Variant != "concat" {
+		t.Errorf("default variant %q, want first fusion", rep.Variant)
+	}
+	if rep.Device != "2080ti" || rep.Batch != 32 {
+		t.Errorf("defaults: device %q batch %d", rep.Device, rep.Batch)
+	}
+	if rep.LatencySeconds <= 0 || rep.Kernels == 0 {
+		t.Error("empty report")
+	}
+	if len(rep.Stages) != 3 {
+		t.Errorf("%d stages", len(rep.Stages))
+	}
+	if !strings.Contains(rep.String(), "avmnist/concat") {
+		t.Error("report String() missing identity")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Run(RunConfig{Workload: "nope"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Run(RunConfig{Workload: "avmnist", Device: "tpu"}); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestRunStallSharesSum(t *testing.T) {
+	rep, err := Run(RunConfig{Workload: "push", Variant: "transformer", PaperScale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range rep.StallShares {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("stall shares sum to %f", sum)
+	}
+}
+
+func TestRunKernelClassSharesSum(t *testing.T) {
+	rep, err := Run(RunConfig{Workload: "medseg", PaperScale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for stage, classes := range rep.KernelClassShares {
+		var sum float64
+		for _, v := range classes {
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("stage %s class shares sum to %f", stage, sum)
+		}
+	}
+}
+
+func TestTrainFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	res, err := Train(TrainConfig{Workload: "avmnist", Variant: "concat", Epochs: 2, StepsPerEpoch: 8, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MetricName != "accuracy" {
+		t.Errorf("metric name %q", res.MetricName)
+	}
+	if res.Metric < 0 || res.Metric > 1 {
+		t.Errorf("accuracy %f out of range", res.Metric)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(TrainConfig{}); err == nil {
+		t.Error("empty train config accepted")
+	}
+	if _, err := Train(TrainConfig{Workload: "nope"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestExperimentIDs(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 14 {
+		t.Fatalf("%d experiment ids", len(ids))
+	}
+	if _, err := Experiment("fig99", true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentAnalytic(t *testing.T) {
+	tables, err := Experiment("fig6", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || len(tables[0].Rows) != 9 {
+		t.Fatalf("fig6 tables %d rows", len(tables[0].Rows))
+	}
+}
