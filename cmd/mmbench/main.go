@@ -8,6 +8,7 @@
 //	mmbench train [flags]                train a variant and report metric
 //	mmbench repro [flags] <id>|all       regenerate a paper table/figure
 //	mmbench sweep [flags]                sweep batch sizes and devices
+//	mmbench serve [flags]                run the benchmark HTTP service
 //
 // Run "mmbench <command> -h" for per-command flags.
 package main
@@ -41,6 +42,8 @@ func main() {
 		err = cmdRepro(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -63,7 +66,8 @@ Commands:
   run         profile one workload variant on one device
   train       train a variant on synthetic data and report its metric
   repro       regenerate a table/figure of the paper (or "all")
-  sweep       profile a variant across devices and batch sizes`)
+  sweep       profile a variant across devices and batch sizes
+  serve       run the benchmark-as-a-service HTTP API`)
 }
 
 func cmdList() error {

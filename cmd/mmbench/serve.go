@@ -1,0 +1,54 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"mmbench/internal/serve"
+)
+
+// cmdServe runs the benchmark service: the JSON API over the cached
+// runner and the worker-pool scheduler.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", runtime.NumCPU(), "scheduler worker count")
+	cacheMB := fs.Int("cache-mb", 64, "result cache budget in MiB")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := serve.New(serve.Options{
+		Workers:    *workers,
+		CacheBytes: int64(*cacheMB) << 20,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mmbench: serving on http://%s (%d workers, %d MiB cache)\n",
+		*addr, *workers, *cacheMB)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "mmbench: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	return s.Close(shutdownCtx)
+}

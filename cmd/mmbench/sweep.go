@@ -1,19 +1,24 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"mmbench"
+	"mmbench/internal/jobs"
 	"mmbench/internal/report"
 )
 
 // cmdSweep profiles one workload variant across batch sizes and devices,
 // emitting one row per configuration — the tuning-knob exploration the
-// paper's Section 5 case studies are built from.
+// paper's Section 5 case studies are built from. Configurations run in
+// parallel across a worker pool with cached deduplication; row order is
+// deterministic regardless of worker count.
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	workload := fs.String("workload", "avmnist", "workload name")
@@ -21,6 +26,7 @@ func cmdSweep(args []string) error {
 	devices := fs.String("devices", "2080ti,orin,nano", "comma-separated device list")
 	batches := fs.String("batches", "32,64,128,256", "comma-separated batch sizes")
 	tasks := fs.Int("tasks", 0, "if > 0, also report total time for this many inference tasks")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel profiling workers (1 = sequential)")
 	format := fs.String("format", "text", "output format: text, csv or json")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -30,36 +36,22 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return fmt.Errorf("bad -batches: %w", err)
 	}
-	devList := strings.Split(*devices, ",")
-
-	cols := []string{"Device", "Batch", "Latency (ms)", "GPU (ms)", "CPU+Runtime", "Intermediate (MB)"}
-	if *tasks > 0 {
-		cols = append(cols, fmt.Sprintf("Total for %d tasks (s)", *tasks))
+	cfg := mmbench.SweepConfig{
+		Workload: *workload,
+		Variant:  *variant,
+		Devices:  strings.Split(*devices, ","),
+		Batches:  batchList,
+		Tasks:    *tasks,
 	}
-	t := report.NewTable(fmt.Sprintf("Sweep: %s/%s", *workload, *variant), cols...)
-	for _, dev := range devList {
-		for _, batch := range batchList {
-			rep, err := mmbench.Run(mmbench.RunConfig{
-				Workload:   *workload,
-				Variant:    *variant,
-				Device:     strings.TrimSpace(dev),
-				BatchSize:  batch,
-				PaperScale: true,
-			})
-			if err != nil {
-				return err
-			}
-			row := []string{
-				rep.Device, strconv.Itoa(batch),
-				report.Ms(rep.LatencySeconds), report.Ms(rep.GPUSeconds),
-				report.Pct(rep.CPUShare), report.F(rep.Memory.Intermediate),
-			}
-			if *tasks > 0 {
-				nBatches := float64((*tasks + batch - 1) / batch)
-				row = append(row, report.F(rep.LatencySeconds*nBatches))
-			}
-			t.AddRow(row...)
-		}
+
+	var pool *jobs.Pool
+	if *workers > 1 {
+		pool = jobs.NewPool(*workers, 2*(*workers))
+		defer pool.Shutdown(context.Background())
+	}
+	t, err := mmbench.RunSweep(cfg, mmbench.RunCached, pool)
+	if err != nil {
+		return err
 	}
 	return report.Render(os.Stdout, *format, t)
 }

@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	cases := []struct {
+		name, in string
+		want     []int
+		wantErr  bool
+	}{
+		{name: "plain list", in: "32,64,128", want: []int{32, 64, 128}},
+		{name: "whitespace trimmed", in: " 8 , 16 ", want: []int{8, 16}},
+		{name: "single value", in: "256", want: []int{256}},
+		{name: "empty string", in: "", wantErr: true},
+		{name: "junk", in: "8,banana", wantErr: true},
+		{name: "trailing comma", in: "8,", wantErr: true},
+		{name: "zero", in: "0", wantErr: true},
+		{name: "negative", in: "8,-4", wantErr: true},
+		{name: "float", in: "8.5", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseInts(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("parseInts(%q) = %v, want error", tc.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseInts(%q): %v", tc.in, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("parseInts(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("parseInts(%q) = %v, want %v", tc.in, got, tc.want)
+				}
+			}
+		})
+	}
+}

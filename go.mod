@@ -1,0 +1,3 @@
+module mmbench
+
+go 1.24

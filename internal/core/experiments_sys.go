@@ -13,11 +13,6 @@ import (
 	"mmbench/internal/workloads"
 )
 
-// profileRun runs a workload's paper-scale variant in analytic mode.
-func profileRun(workload, variant string, dev *device.Profile, batch int) (*RunResult, error) {
-	return BuildAndRun(workload, variant, true, RunOptions{Device: dev, BatchSize: batch})
-}
-
 // defaultFusion returns the first registered fusion of a workload.
 func defaultFusion(workload string) (string, error) {
 	info, err := workloads.Get(workload)
@@ -25,23 +20,6 @@ func defaultFusion(workload string) (string, error) {
 		return "", err
 	}
 	return info.Fusions[0], nil
-}
-
-// allProfileRuns profiles every workload's default fusion on the server.
-func allProfileRuns(batch int) (map[string]*RunResult, error) {
-	out := make(map[string]*RunResult)
-	for _, name := range workloads.Names() {
-		fus, err := defaultFusion(name)
-		if err != nil {
-			return nil, err
-		}
-		r, err := profileRun(name, fus, device.RTX2080Ti(), batch)
-		if err != nil {
-			return nil, fmt.Errorf("profiling %s/%s: %w", name, fus, err)
-		}
-		out[name] = r
-	}
-	return out, nil
 }
 
 // Fig6 reproduces per-stage execution time: encoders dominate except under
@@ -111,15 +89,21 @@ func Fig8() ([]*report.Table, error) {
 // pooling both lower to Reduce kernels), and the Elewise kernel across
 // fusion methods.
 func Fig9() ([]*report.Table, error) {
-	attn, err := profileRun("avmnist", "attention", device.RTX2080Ti(), 32)
+	grid := []profileCfg{
+		{"avmnist", "attention", device.RTX2080Ti(), 32},
+		{"avmnist", "concat", device.RTX2080Ti(), 32},
+		{"avmnist", "tensor", device.RTX2080Ti(), 32},
+	}
+	prefetch(grid)
+	attn, err := profileRun(grid[0].workload, grid[0].variant, grid[0].dev, grid[0].batch)
 	if err != nil {
 		return nil, err
 	}
-	concat, err := profileRun("avmnist", "concat", device.RTX2080Ti(), 32)
+	concat, err := profileRun(grid[1].workload, grid[1].variant, grid[1].dev, grid[1].batch)
 	if err != nil {
 		return nil, err
 	}
-	tensorRun, err := profileRun("avmnist", "tensor", device.RTX2080Ti(), 32)
+	tensorRun, err := profileRun(grid[2].workload, grid[2].variant, grid[2].dev, grid[2].batch)
 	if err != nil {
 		return nil, err
 	}
@@ -166,12 +150,17 @@ func Fig9() ([]*report.Table, error) {
 func Fig10() ([]*report.Table, error) {
 	t := report.NewTable("Figure 10: per-modality encoder time (batch 32, 2080ti, normalized to fastest)",
 		"Workload", "Modality", "Time (ms)", "Normalized")
+	var grid []profileCfg
 	for _, name := range []string{"avmnist", "mmimdb", "push"} {
 		fus, err := defaultFusion(name)
 		if err != nil {
 			return nil, err
 		}
-		r, err := profileRun(name, fus, device.RTX2080Ti(), 32)
+		grid = append(grid, profileCfg{name, fus, device.RTX2080Ti(), 32})
+	}
+	prefetch(grid)
+	for _, c := range grid {
+		r, err := profileRun(c.workload, c.variant, c.dev, c.batch)
 		if err != nil {
 			return nil, err
 		}
@@ -182,9 +171,9 @@ func Fig10() ([]*report.Table, error) {
 				minT = v
 			}
 		}
-		info, _ := workloads.Get(name)
+		info, _ := workloads.Get(c.workload)
 		for _, m := range info.Modalities {
-			t.AddRow(name, m, report.Ms(mt[m]), report.F(mt[m]/minT))
+			t.AddRow(c.workload, m, report.Ms(mt[m]), report.F(mt[m]/minT))
 		}
 	}
 	return []*report.Table{t}, nil
@@ -195,23 +184,31 @@ func Fig10() ([]*report.Table, error) {
 func Fig11() ([]*report.Table, error) {
 	t := report.NewTable("Figure 11: CPU+Runtime vs GPU share (batch 32, 2080ti)",
 		"Workload", "Variant", "CPU+Runtime", "GPU")
+	// grid holds (uni, multi) pairs per workload, in row order.
+	var grid []profileCfg
 	for _, name := range []string{"avmnist", "push", "medseg", "vnt"} {
 		info, err := workloads.Get(name)
 		if err != nil {
 			return nil, err
 		}
-		uni, err := profileRun(name, "uni:"+info.Major, device.RTX2080Ti(), 32)
+		grid = append(grid,
+			profileCfg{name, "uni:" + info.Major, device.RTX2080Ti(), 32},
+			profileCfg{name, info.Fusions[0], device.RTX2080Ti(), 32})
+	}
+	prefetch(grid)
+	for i := 0; i < len(grid); i += 2 {
+		uni, err := profileRun(grid[i].workload, grid[i].variant, grid[i].dev, grid[i].batch)
 		if err != nil {
 			return nil, err
 		}
-		multi, err := profileRun(name, info.Fusions[0], device.RTX2080Ti(), 32)
+		multi, err := profileRun(grid[i+1].workload, grid[i+1].variant, grid[i+1].dev, grid[i+1].batch)
 		if err != nil {
 			return nil, err
 		}
 		us := metrics.HostShare(uni.Trace)
 		ms := metrics.HostShare(multi.Trace)
-		t.AddRow(name, "uni", report.Pct(us), report.Pct(1-us))
-		t.AddRow(name, "multi", report.Pct(ms), report.Pct(1-ms))
+		t.AddRow(grid[i].workload, "uni", report.Pct(us), report.Pct(1-us))
+		t.AddRow(grid[i].workload, "multi", report.Pct(ms), report.Pct(1-ms))
 	}
 	t.Note = "Multi-modal variants spend a larger share in CPU+Runtime (modality gathers, extra dispatches)."
 	return []*report.Table{t}, nil
@@ -229,18 +226,30 @@ func Fig12() ([]*report.Table, error) {
 		"Variant", "Batch", "0-10us", "10-50us", "50-100us", ">100us")
 	times := report.NewTable("Figure 12b: GPU time and inference time for 10000 tasks",
 		"Variant", "Batch", "GPU time (s)", "Inference time (s)")
+	type cell struct {
+		label string
+		cfg   profileCfg
+	}
+	var cells []cell
+	var grid []profileCfg
 	for _, k := range kinds {
 		for _, b := range []int{40, 400} {
-			r, err := profileRun("avmnist", k.variant, device.RTX2080Ti(), b)
-			if err != nil {
-				return nil, err
-			}
-			h := metrics.KernelSizeHistogram(r.Trace)
-			hist.AddRow(k.label, fmt.Sprint(b), report.Pct(h[0]), report.Pct(h[1]), report.Pct(h[2]), report.Pct(h[3]))
-			nBatches := float64((tasks + b - 1) / b)
-			times.AddRow(k.label, fmt.Sprint(b),
-				report.F(r.Trace.GPUBusy()*nBatches), report.F(r.Latency*nBatches))
+			c := profileCfg{"avmnist", k.variant, device.RTX2080Ti(), b}
+			cells = append(cells, cell{k.label, c})
+			grid = append(grid, c)
 		}
+	}
+	prefetch(grid)
+	for _, c := range cells {
+		r, err := profileRun(c.cfg.workload, c.cfg.variant, c.cfg.dev, c.cfg.batch)
+		if err != nil {
+			return nil, err
+		}
+		h := metrics.KernelSizeHistogram(r.Trace)
+		hist.AddRow(c.label, fmt.Sprint(c.cfg.batch), report.Pct(h[0]), report.Pct(h[1]), report.Pct(h[2]), report.Pct(h[3]))
+		nBatches := float64((tasks + c.cfg.batch - 1) / c.cfg.batch)
+		times.AddRow(c.label, fmt.Sprint(c.cfg.batch),
+			report.F(r.Trace.GPUBusy()*nBatches), report.F(r.Latency*nBatches))
 	}
 	return []*report.Table{hist, times}, nil
 }
@@ -249,18 +258,30 @@ func Fig12() ([]*report.Table, error) {
 func Fig13() ([]*report.Table, error) {
 	t := report.NewTable("Figure 13: peak memory (MB) for model, dataset and intermediates (AV-MNIST, 2080ti)",
 		"Variant", "Batch", "Model", "Dataset", "Intermediate", "Intermediate share")
+	type cell struct {
+		label string
+		cfg   profileCfg
+	}
+	var cells []cell
+	var grid []profileCfg
 	for _, k := range []struct{ label, variant string }{{"uni", "uni:image"}, {"multi", "concat"}} {
 		for _, b := range []int{20, 40, 100, 200, 400} {
-			r, err := profileRun("avmnist", k.variant, device.RTX2080Ti(), b)
-			if err != nil {
-				return nil, err
-			}
-			m := r.Memory
-			t.AddRow(k.label, fmt.Sprint(b),
-				report.F(memprof.MB(m.ModelBytes)), report.F(memprof.MB(m.DatasetBytes)),
-				report.F(memprof.MB(m.IntermediateBytes)),
-				report.Pct(float64(m.IntermediateBytes)/float64(m.Total())))
+			c := profileCfg{"avmnist", k.variant, device.RTX2080Ti(), b}
+			cells = append(cells, cell{k.label, c})
+			grid = append(grid, c)
 		}
+	}
+	prefetch(grid)
+	for _, c := range cells {
+		r, err := profileRun(c.cfg.workload, c.cfg.variant, c.cfg.dev, c.cfg.batch)
+		if err != nil {
+			return nil, err
+		}
+		m := r.Memory
+		t.AddRow(c.label, fmt.Sprint(c.cfg.batch),
+			report.F(memprof.MB(m.ModelBytes)), report.F(memprof.MB(m.DatasetBytes)),
+			report.F(memprof.MB(m.IntermediateBytes)),
+			report.Pct(float64(m.IntermediateBytes)/float64(m.Total())))
 	}
 	return []*report.Table{t}, nil
 }
@@ -272,25 +293,33 @@ func Fig14() ([]*report.Table, error) {
 	const tasks = 10000
 	t := report.NewTable("Figure 14: inference time for 10000 AV-MNIST tasks vs batch size",
 		"Device", "Batch", "uni (s)", "slfs (s)", "ratio slfs/uni")
+	// grid holds (uni, multi) pairs per (device, batch), in row order.
+	var grid []profileCfg
 	for _, devName := range []string{"nano", "orin", "2080ti"} {
 		dev, err := device.ByName(devName)
 		if err != nil {
 			return nil, err
 		}
 		for _, b := range []int{40, 80, 160, 320} {
-			uni, err := profileRun("avmnist", "uni:image", dev, b)
-			if err != nil {
-				return nil, err
-			}
-			multi, err := profileRun("avmnist", "concat", dev, b)
-			if err != nil {
-				return nil, err
-			}
-			nBatches := float64((tasks + b - 1) / b)
-			ut := uni.Latency * nBatches
-			mt := multi.Latency * nBatches
-			t.AddRow(devName, fmt.Sprint(b), report.F(ut), report.F(mt), report.F(mt/ut))
+			grid = append(grid,
+				profileCfg{"avmnist", "uni:image", dev, b},
+				profileCfg{"avmnist", "concat", dev, b})
 		}
+	}
+	prefetch(grid)
+	for i := 0; i < len(grid); i += 2 {
+		uni, err := profileRun(grid[i].workload, grid[i].variant, grid[i].dev, grid[i].batch)
+		if err != nil {
+			return nil, err
+		}
+		multi, err := profileRun(grid[i+1].workload, grid[i+1].variant, grid[i+1].dev, grid[i+1].batch)
+		if err != nil {
+			return nil, err
+		}
+		nBatches := float64((tasks + grid[i].batch - 1) / grid[i].batch)
+		ut := uni.Latency * nBatches
+		mt := multi.Latency * nBatches
+		t.AddRow(grid[i].dev.Name, fmt.Sprint(grid[i].batch), report.F(ut), report.F(mt), report.F(mt/ut))
 	}
 	t.Note = "Nano latency stops improving (and worsens) at large batch as memory capacity is exhausted."
 	return []*report.Table{t}, nil
@@ -304,11 +333,21 @@ func Fig15() ([]*report.Table, error) {
 		{"slfs (multi)", "concat"},
 	}
 	var tables []*report.Table
+	var devs []*device.Profile
+	var grid []profileCfg
 	for _, devName := range []string{"nano", "2080ti"} {
 		dev, err := device.ByName(devName)
 		if err != nil {
 			return nil, err
 		}
+		devs = append(devs, dev)
+		for _, v := range variants {
+			grid = append(grid, profileCfg{"avmnist", v.variant, dev, 32})
+		}
+	}
+	prefetch(grid)
+	for _, dev := range devs {
+		devName := dev.Name
 		cols := []string{"Row"}
 		for i := 0; i < device.NumStalls; i++ {
 			cols = append(cols, device.StallReason(i).String())

@@ -1,0 +1,389 @@
+// Package jobs is a worker-pool job scheduler: a bounded queue feeding a
+// fixed set of workers, with per-job status tracking and graceful
+// shutdown. It is the fan-out substrate for everything in MMBench that
+// runs many independent profile configurations — parallel sweeps, the
+// multi-config experiment drivers, and the HTTP service's async
+// endpoints.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue has no
+	// room; callers should retry or shed load.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrShutdown is returned by Submit after Shutdown has begun.
+	ErrShutdown = errors.New("jobs: pool shut down")
+)
+
+// Fn is the unit of work: it returns the job's result or an error.
+type Fn func() (any, error)
+
+// Job tracks one submitted unit of work. Fields are read through
+// Snapshot; the struct itself is shared with the pool's workers.
+type Job struct {
+	id   string
+	done chan struct{}
+
+	mu       sync.Mutex
+	status   Status
+	result   any
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Snapshot is a consistent copy of a job's observable state.
+type Snapshot struct {
+	ID       string
+	Status   Status
+	Result   any
+	Err      error
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// ID returns the job's pool-unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot copies the job's current state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID: j.id, Status: j.status, Result: j.result, Err: j.err,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+}
+
+// Wait blocks until the job finishes or the context is cancelled, then
+// returns the job's result.
+func (j *Job) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(result any, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.status = StatusFailed
+		j.err = err
+	} else {
+		j.status = StatusDone
+		j.result = result
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+type task struct {
+	job *Job
+	fn  Fn
+}
+
+// Counts summarizes the pool's jobs by state.
+type Counts struct {
+	Queued, Running, Done, Failed int
+}
+
+// Pool is a fixed-size worker pool with a bounded submission queue.
+type Pool struct {
+	queue chan task
+	wg    sync.WaitGroup
+	// subWG counts in-flight submissions so Shutdown only closes the
+	// queue channel once no sender can still touch it.
+	subWG sync.WaitGroup
+
+	mu   sync.Mutex
+	seq  uint64
+	jobs map[string]*Job
+	// retired lists finished job IDs oldest-first; beyond maxRetained
+	// the oldest finished jobs are forgotten so a long-running pool
+	// doesn't pin every result ever produced.
+	retired []string
+	closed  bool
+}
+
+// maxRetained bounds how many finished jobs stay queryable via Get.
+const maxRetained = 1024
+
+// NewPool starts workers goroutines consuming a queue of queueCap
+// pending jobs. workers and queueCap are clamped to at least 1.
+func NewPool(workers, queueCap int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	p := &Pool{
+		queue: make(chan task, queueCap),
+		jobs:  make(map[string]*Job),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		t.job.setRunning()
+		t.job.finish(runProtected(t.fn))
+		p.retire(t.job)
+	}
+}
+
+// retire records a finished job, evicting the oldest finished jobs
+// beyond the retention bound. Queued and running jobs are never
+// evicted.
+func (p *Pool) retire(j *Job) {
+	p.mu.Lock()
+	p.retired = append(p.retired, j.id)
+	for len(p.retired) > maxRetained {
+		delete(p.jobs, p.retired[0])
+		p.retired = p.retired[1:]
+	}
+	p.mu.Unlock()
+}
+
+// runProtected invokes fn, converting a panic into an error so one bad
+// job cannot take down a worker.
+func runProtected(fn Fn) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: job panicked: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// newJob registers a fresh queued job and takes a submission slot; the
+// caller must release it with p.subWG.Done() once the job is either on
+// the queue or dropped.
+func (p *Pool) newJob() (*Job, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrShutdown
+	}
+	p.subWG.Add(1)
+	p.seq++
+	j := &Job{
+		id:      fmt.Sprintf("job-%06d", p.seq),
+		done:    make(chan struct{}),
+		status:  StatusQueued,
+		created: time.Now(),
+	}
+	p.jobs[j.id] = j
+	return j, nil
+}
+
+// Submit enqueues fn without blocking; it fails with ErrQueueFull when
+// the queue is at capacity.
+func (p *Pool) Submit(fn Fn) (*Job, error) {
+	j, err := p.newJob()
+	if err != nil {
+		return nil, err
+	}
+	defer p.subWG.Done()
+	select {
+	case p.queue <- task{job: j, fn: fn}:
+		return j, nil
+	default:
+		p.drop(j)
+		return nil, ErrQueueFull
+	}
+}
+
+// SubmitWait enqueues fn, blocking while the queue is full until the
+// context is cancelled.
+func (p *Pool) SubmitWait(ctx context.Context, fn Fn) (*Job, error) {
+	j, err := p.newJob()
+	if err != nil {
+		return nil, err
+	}
+	defer p.subWG.Done()
+	select {
+	case p.queue <- task{job: j, fn: fn}:
+		return j, nil
+	case <-ctx.Done():
+		p.drop(j)
+		return nil, ctx.Err()
+	}
+}
+
+func (p *Pool) drop(j *Job) {
+	p.mu.Lock()
+	delete(p.jobs, j.id)
+	p.mu.Unlock()
+}
+
+// SubmitGroup enqueues every fn as its own job and returns a parent job
+// that completes when all children do, with Result holding the
+// children's results in submission order. The parent fails with the
+// first child error (by index) but always waits for every child.
+// Submission and aggregation run on a dedicated goroutine, so a group
+// returns immediately, never occupies a worker slot, and cannot
+// deadlock the pool even when the group is larger than the queue.
+func (p *Pool) SubmitGroup(fns []Fn) (*Job, error) {
+	return p.SubmitGroupThen(fns, nil)
+}
+
+// SubmitGroupThen is SubmitGroup with a final assembly step: when every
+// child succeeds, the parent's Result is then(childResults) instead of
+// the raw slice. A nil then keeps the slice.
+func (p *Pool) SubmitGroupThen(fns []Fn, then func([]any) (any, error)) (*Job, error) {
+	parent, err := p.newJob()
+	if err != nil {
+		return nil, err
+	}
+	p.subWG.Done() // the parent never touches the queue
+	parent.setRunning()
+	go func() {
+		defer p.retire(parent)
+		children := make([]*Job, len(fns))
+		for i, fn := range fns {
+			j, err := p.SubmitWait(context.Background(), fn)
+			if err != nil {
+				// Children already queued still run; the parent reports
+				// the submission failure after waiting for them.
+				for _, c := range children[:i] {
+					<-c.Done()
+				}
+				parent.finish(nil, fmt.Errorf("submitting job %d/%d: %w", i+1, len(fns), err))
+				return
+			}
+			children[i] = j
+		}
+		results := make([]any, len(children))
+		var firstErr error
+		for i, c := range children {
+			<-c.Done()
+			snap := c.Snapshot()
+			results[i] = snap.Result
+			if snap.Err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("job %d/%d: %w", i+1, len(children), snap.Err)
+			}
+		}
+		if firstErr != nil {
+			parent.finish(nil, firstErr)
+			return
+		}
+		if then != nil {
+			parent.finish(runProtected(func() (any, error) { return then(results) }))
+			return
+		}
+		parent.finish(results, nil)
+	}()
+	return parent, nil
+}
+
+// Map runs every fn through the pool and returns their results in
+// order, waiting for all of them. The first error (by index) is
+// returned after every fn has finished.
+func (p *Pool) Map(fns []Fn) ([]any, error) {
+	parent, err := p.SubmitGroup(fns)
+	if err != nil {
+		return nil, err
+	}
+	res, err := parent.Wait(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return res.([]any), nil
+}
+
+// Get looks up a job by ID.
+func (p *Pool) Get(id string) (*Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	return j, ok
+}
+
+// Counts tallies jobs by status.
+func (p *Pool) Counts() Counts {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var c Counts
+	for _, j := range p.jobs {
+		switch j.Snapshot().Status {
+		case StatusQueued:
+			c.Queued++
+		case StatusRunning:
+			c.Running++
+		case StatusDone:
+			c.Done++
+		case StatusFailed:
+			c.Failed++
+		}
+	}
+	return c
+}
+
+// Shutdown stops accepting new jobs and waits for queued and running
+// work to drain, or until the context is cancelled. It is safe to call
+// once.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		// No new submission slots can be taken once closed is set, so
+		// after subWG drains no sender can touch the queue.
+		p.subWG.Wait()
+		close(p.queue)
+		p.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

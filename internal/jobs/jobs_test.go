@@ -1,0 +1,275 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSubmitAndWait(t *testing.T) {
+	p := NewPool(2, 8)
+	defer p.Shutdown(context.Background())
+
+	j, err := p.Submit(func() (any, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 42 {
+		t.Fatalf("result %v, want 42", res)
+	}
+	snap := j.Snapshot()
+	if snap.Status != StatusDone {
+		t.Fatalf("status %q, want done", snap.Status)
+	}
+	if got, ok := p.Get(j.ID()); !ok || got != j {
+		t.Fatal("Get did not return the job")
+	}
+}
+
+func TestFailedJob(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Shutdown(context.Background())
+
+	boom := errors.New("boom")
+	j, err := p.Submit(func() (any, error) { return nil, boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("err %v, want boom", err)
+	}
+	if j.Snapshot().Status != StatusFailed {
+		t.Fatalf("status %q, want failed", j.Snapshot().Status)
+	}
+}
+
+func TestPanicBecomesFailure(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Shutdown(context.Background())
+
+	j, err := p.Submit(func() (any, error) { panic("kaboom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err == nil {
+		t.Fatal("panicking job reported success")
+	}
+	// The worker must survive the panic.
+	j2, err := p.Submit(func() (any, error) { return "ok", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := j2.Wait(context.Background()); err != nil || res != "ok" {
+		t.Fatalf("worker dead after panic: %v %v", res, err)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Shutdown(context.Background())
+
+	release := make(chan struct{})
+	block := func() (any, error) { <-release; return nil, nil }
+	// One job occupies the worker, one fills the queue.
+	if _, err := p.Submit(block); err != nil {
+		t.Fatal(err)
+	}
+	// The worker may not have dequeued the first job yet, so up to one
+	// more submit can succeed before the queue is provably full.
+	var full bool
+	for i := 0; i < 3; i++ {
+		if _, err := p.Submit(block); errors.Is(err, ErrQueueFull) {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Fatal("queue of capacity 1 accepted 4 concurrent jobs")
+	}
+	close(release)
+}
+
+func TestSubmitGroupOrderAndStatus(t *testing.T) {
+	p := NewPool(4, 2) // queue smaller than the group: must not deadlock
+	defer p.Shutdown(context.Background())
+
+	fns := make([]Fn, 16)
+	for i := range fns {
+		i := i
+		fns[i] = func() (any, error) { return i * i, nil }
+	}
+	parent, err := p.SubmitGroup(fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := parent.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := res.([]any)
+	if len(vals) != 16 {
+		t.Fatalf("%d results, want 16", len(vals))
+	}
+	for i, v := range vals {
+		if v != i*i {
+			t.Fatalf("result[%d] = %v, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestGroupFirstErrorByIndex(t *testing.T) {
+	p := NewPool(4, 4)
+	defer p.Shutdown(context.Background())
+
+	errA := errors.New("first")
+	fns := []Fn{
+		func() (any, error) { return 1, nil },
+		func() (any, error) { time.Sleep(20 * time.Millisecond); return nil, errA },
+		func() (any, error) { return nil, errors.New("second") },
+	}
+	parent, err := p.SubmitGroup(fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parent.Wait(context.Background()); !errors.Is(err, errA) {
+		t.Fatalf("err %v, want the lowest-index error", err)
+	}
+}
+
+func TestMapParallelism(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers, workers)
+	defer p.Shutdown(context.Background())
+
+	var mu sync.Mutex
+	var inflight, peak int
+	fns := make([]Fn, 12)
+	for i := range fns {
+		fns[i] = func() (any, error) {
+			mu.Lock()
+			inflight++
+			if inflight > peak {
+				peak = inflight
+			}
+			mu.Unlock()
+			time.Sleep(10 * time.Millisecond)
+			mu.Lock()
+			inflight--
+			mu.Unlock()
+			return nil, nil
+		}
+	}
+	if _, err := p.Map(fns); err != nil {
+		t.Fatal(err)
+	}
+	if peak < 2 {
+		t.Fatalf("peak parallelism %d, want >= 2", peak)
+	}
+	if peak > workers {
+		t.Fatalf("peak parallelism %d exceeds %d workers", peak, workers)
+	}
+}
+
+func TestShutdownDrainsAndRejects(t *testing.T) {
+	p := NewPool(2, 8)
+	var ran int32
+	var mu sync.Mutex
+	jobs := make([]*Job, 6)
+	for i := range jobs {
+		j, err := p.Submit(func() (any, error) {
+			mu.Lock()
+			ran++
+			mu.Unlock()
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if ran != 6 {
+		t.Fatalf("%d jobs ran, want all 6 drained", ran)
+	}
+	mu.Unlock()
+	for _, j := range jobs {
+		if j.Snapshot().Status != StatusDone {
+			t.Fatalf("job %s status %q after drain", j.ID(), j.Snapshot().Status)
+		}
+	}
+	if _, err := p.Submit(func() (any, error) { return nil, nil }); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("submit after shutdown: %v, want ErrShutdown", err)
+	}
+	// Second shutdown is a no-op.
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinishedJobRetentionBounded(t *testing.T) {
+	// One worker makes completion order deterministic (strict FIFO).
+	p := NewPool(1, 64)
+	const extra = 50
+	ids := make([]string, 0, maxRetained+extra)
+	for i := 0; i < maxRetained+extra; i++ {
+		j, err := p.SubmitWait(context.Background(), func() (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID())
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	retained := len(p.jobs)
+	p.mu.Unlock()
+	if retained != maxRetained {
+		t.Fatalf("%d jobs retained, want exactly %d", retained, maxRetained)
+	}
+	// The newest job must still be queryable; the oldest finished jobs
+	// must have been forgotten.
+	if _, ok := p.Get(ids[len(ids)-1]); !ok {
+		t.Fatal("newest finished job evicted")
+	}
+	for _, id := range ids[:extra] {
+		if _, ok := p.Get(id); ok {
+			t.Fatalf("old job %s not evicted", id)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Shutdown(context.Background())
+
+	release := make(chan struct{})
+	p.Submit(func() (any, error) { <-release; return nil, nil })
+	p.Submit(func() (any, error) { return nil, nil })
+	p.Submit(func() (any, error) { return nil, fmt.Errorf("x") })
+
+	// Wait for the first job to start running.
+	deadline := time.After(2 * time.Second)
+	for {
+		c := p.Counts()
+		if c.Running == 1 && c.Queued == 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("counts never settled: %+v", c)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -64,6 +65,94 @@ func TestRenderFormats(t *testing.T) {
 	var b strings.Builder
 	if err := Render(&b, "xml", sample()); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := NewTable("Round trip", "Device", "Latency (ms)", "Note,with comma")
+	orig.Note = "percentiles over \"recent\" runs"
+	orig.AddRow("2080ti", "1.234", `quoted "cell"`)
+	orig.AddRow("nano", "56.789", "a,b;c=d")
+	orig.AddRow("", "0", "")
+
+	var b strings.Builder
+	if err := orig.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != orig.Title || got.Note != orig.Note {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if len(got.Columns) != len(orig.Columns) || len(got.Rows) != len(orig.Rows) {
+		t.Fatalf("shape lost: %+v", got)
+	}
+	for i, row := range orig.Rows {
+		for j, cell := range row {
+			if got.Rows[i][j] != cell {
+				t.Fatalf("cell (%d,%d) %q became %q", i, j, cell, got.Rows[i][j])
+			}
+		}
+	}
+	// Re-encoding the decoded table must be byte-identical.
+	var b2 strings.Builder
+	if err := got.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b.String() {
+		t.Fatalf("json not stable:\n%s\nvs\n%s", b.String(), b2.String())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := NewTable("CSV", "A", "B,with comma")
+	orig.AddRow("plain", "x")
+	orig.AddRow(`quoted "q"`, "a,b")
+	orig.AddRow("multi\nline", "")
+
+	var b strings.Builder
+	if err := orig.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1+len(orig.Rows) {
+		t.Fatalf("%d records, want %d", len(records), 1+len(orig.Rows))
+	}
+	for j, col := range orig.Columns {
+		if records[0][j] != col {
+			t.Fatalf("header %q became %q", col, records[0][j])
+		}
+	}
+	for i, row := range orig.Rows {
+		for j, cell := range row {
+			if records[i+1][j] != cell {
+				t.Fatalf("cell (%d,%d) %q became %q", i, j, cell, records[i+1][j])
+			}
+		}
+	}
+}
+
+func TestRenderMultipleTables(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, "json", sample(), sample()); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(strings.NewReader(b.String()))
+	var count int
+	for dec.More() {
+		var tbl Table
+		if err := dec.Decode(&tbl); err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 2 {
+		t.Fatalf("decoded %d tables, want 2", count)
 	}
 }
 

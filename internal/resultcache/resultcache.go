@@ -1,0 +1,221 @@
+// Package resultcache is a deterministic, config-keyed result cache for
+// profiling reports. MMBench's analytic runs are pure functions of their
+// configuration, so identical configs always produce identical results
+// and can be served from memory: the cache combines canonicalized config
+// keys, LRU eviction under a byte budget, and singleflight deduplication
+// so N concurrent identical requests cost exactly one execution.
+package resultcache
+
+import (
+	"container/list"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Key canonicalizes a config into a cache key. Fields are joined in
+// sorted-by-name order so callers can supply them in any order, and both
+// names and values are escaped so no two distinct field sets can collide
+// on the separator characters.
+func Key(fields map[string]string) string {
+	names := make([]string, 0, len(fields))
+	for name := range fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(escape(name))
+		b.WriteByte('=')
+		b.WriteString(escape(fields[name]))
+	}
+	return b.String()
+}
+
+// escape protects the key separators ('=', ';') and the escape
+// character itself.
+func escape(s string) string {
+	if !strings.ContainsAny(s, `=;\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '=', ';', '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Stats are the cache's monotonic counters plus a point-in-time size.
+type Stats struct {
+	// Hits served from the cache without any work.
+	Hits uint64 `json:"hits"`
+	// Misses that triggered (or joined) a computation.
+	Misses uint64 `json:"misses"`
+	// Executions is how many computations actually ran; Misses minus
+	// Executions is the work saved by singleflight coalescing.
+	Executions uint64 `json:"executions"`
+	// Coalesced misses joined an in-flight execution of the same key.
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions under the byte budget.
+	Evictions uint64 `json:"evictions"`
+
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	Capacity int64 `json:"capacity_bytes"`
+}
+
+// HitRate is the fraction of lookups served from cache.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	key   string
+	value any
+	bytes int64
+}
+
+// call is one in-flight computation other callers can join.
+type call struct {
+	done  chan struct{}
+	value any
+	err   error
+}
+
+// Cache is a byte-budgeted LRU with singleflight deduplication. The
+// zero value is not usable; construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	ll       *list.List // front = most recently used; values are *entry
+	items    map[string]*list.Element
+	inflight map[string]*call
+	stats    Stats
+}
+
+// New builds a cache holding at most capacityBytes of values (as
+// reported by each computation). capacityBytes <= 0 disables caching but
+// keeps singleflight deduplication.
+func New(capacityBytes int64) *Cache {
+	return &Cache{
+		capacity: capacityBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Do returns the cached value for key, or runs compute to produce it.
+// compute returns the value plus its size in bytes for the LRU budget.
+// Concurrent calls with the same key share one compute invocation
+// (errors are shared too, but not cached). Values must be treated as
+// immutable by every caller, since one value is handed to many.
+func (c *Cache) Do(key string, compute func() (any, int64, error)) (any, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*entry).value
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.stats.Misses++
+	if cl, ok := c.inflight[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-cl.done
+		return cl.value, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.stats.Executions++
+	c.mu.Unlock()
+
+	value, bytes, err := compute()
+	cl.value, cl.err = value, err
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.add(key, value, bytes)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return value, err
+}
+
+// Get looks up a key without computing.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*entry).value, true
+}
+
+// add inserts under the byte budget, evicting LRU entries as needed.
+// Values larger than the whole budget are not cached. Caller holds mu.
+func (c *Cache) add(key string, value any, bytes int64) {
+	if bytes > c.capacity {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		// A racing Get/Do pair can't insert twice (singleflight), but be
+		// defensive: replace in place.
+		old := el.Value.(*entry)
+		c.bytes += bytes - old.bytes
+		old.value, old.bytes = value, bytes
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, value: value, bytes: bytes})
+		c.bytes += bytes
+	}
+	for c.bytes > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= e.bytes
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Bytes = c.bytes
+	s.Capacity = c.capacity
+	return s
+}

@@ -1,0 +1,335 @@
+// Package serve exposes MMBench as a benchmark service: a stdlib
+// net/http JSON API over the cached runner and the worker-pool
+// scheduler. Synchronous profiling goes through POST /v1/run (identical
+// concurrent requests are coalesced into one execution by the result
+// cache), sweeps fan out through the scheduler as asynchronous jobs,
+// and GET /v1/stats reports service throughput, latency percentiles
+// and cache effectiveness.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mmbench"
+	"mmbench/internal/jobs"
+	"mmbench/internal/resultcache"
+)
+
+// Options configure the server.
+type Options struct {
+	// Workers is the scheduler's worker count (default: GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the scheduler's pending queue (default: 4×Workers).
+	QueueCap int
+	// CacheBytes is the result cache budget (default: 64 MiB).
+	CacheBytes int64
+}
+
+// Server is the benchmark service.
+type Server struct {
+	runner *mmbench.CachedRunner
+	pool   *jobs.Pool
+	mux    *http.ServeMux
+	start  time.Time
+
+	mu        sync.Mutex
+	requests  uint64
+	latencies []float64 // ring of recent /v1/run service latencies (s)
+	latNext   int
+	latFull   bool
+}
+
+// latencyWindow bounds the percentile reservoir.
+const latencyWindow = 4096
+
+// New builds a server with its own scheduler and cache.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 4 * opts.Workers
+	}
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = 64 << 20
+	}
+	s := &Server{
+		runner:    mmbench.NewCachedRunner(opts.CacheBytes),
+		pool:      jobs.NewPool(opts.Workers, opts.QueueCap),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		latencies: make([]float64, latencyWindow),
+	}
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the scheduler.
+func (s *Server) Close(ctx context.Context) error { return s.pool.Shutdown(ctx) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode parses a bounded JSON request body, rejecting unknown fields.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *Server) countRequest() {
+	s.mu.Lock()
+	s.requests++
+	s.mu.Unlock()
+}
+
+func (s *Server) recordLatency(d time.Duration) {
+	s.mu.Lock()
+	s.latencies[s.latNext] = d.Seconds()
+	s.latNext++
+	if s.latNext == len(s.latencies) {
+		s.latNext = 0
+		s.latFull = true
+	}
+	s.mu.Unlock()
+}
+
+// percentiles returns p50/p95/p99 over the latency window, in seconds.
+func (s *Server) percentiles() (p50, p95, p99 float64, n int) {
+	s.mu.Lock()
+	n = s.latNext
+	if s.latFull {
+		n = len(s.latencies)
+	}
+	window := make([]float64, n)
+	copy(window, s.latencies[:n])
+	s.mu.Unlock()
+	if n == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Float64s(window)
+	at := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return window[i]
+	}
+	return at(0.50), at(0.95), at(0.99), n
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": mmbench.Workloads()})
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	writeJSON(w, http.StatusOK, map[string]any{"devices": mmbench.Devices()})
+}
+
+// RunRequest is the POST /v1/run body. PaperScale defaults to true (the
+// profile flavour the paper's system analysis uses).
+type RunRequest struct {
+	Workload   string `json:"workload"`
+	Variant    string `json:"variant,omitempty"`
+	Device     string `json:"device,omitempty"`
+	Batch      int    `json:"batch,omitempty"`
+	PaperScale *bool  `json:"paper_scale,omitempty"`
+	Eager      bool   `json:"eager,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+}
+
+func (rr RunRequest) config() mmbench.RunConfig {
+	paper := true
+	if rr.PaperScale != nil {
+		paper = *rr.PaperScale
+	}
+	return mmbench.RunConfig{
+		Workload:   rr.Workload,
+		Variant:    rr.Variant,
+		Device:     rr.Device,
+		BatchSize:  rr.Batch,
+		PaperScale: paper,
+		Eager:      rr.Eager,
+		Seed:       rr.Seed,
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	var req RunRequest
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad run request: %v", err)
+		return
+	}
+	begin := time.Now()
+	rep, err := s.runner.Run(req.config())
+	if err != nil {
+		// The model is deterministic: a failed run is a config problem,
+		// not a transient one.
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.recordLatency(time.Since(begin))
+	writeJSON(w, http.StatusOK, map[string]any{"report": rep})
+}
+
+// SweepRequest is the POST /v1/sweep body.
+type SweepRequest struct {
+	Workload string   `json:"workload"`
+	Variant  string   `json:"variant,omitempty"`
+	Devices  []string `json:"devices"`
+	Batches  []int    `json:"batches"`
+	Tasks    int      `json:"tasks,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	var req SweepRequest
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	fns, assemble, err := mmbench.SweepJob(mmbench.SweepConfig{
+		Workload: req.Workload,
+		Variant:  req.Variant,
+		Devices:  req.Devices,
+		Batches:  req.Batches,
+		Tasks:    req.Tasks,
+	}, s.runner.Run)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, err := s.pool.SubmitGroupThen(fns, assemble)
+	if err != nil {
+		if errors.Is(err, jobs.ErrShutdown) {
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"job_id": job.ID(),
+		"status": string(job.Snapshot().Status),
+		"href":   "/v1/jobs/" + job.ID(),
+	})
+}
+
+// JobResponse is the GET /v1/jobs/{id} body.
+type JobResponse struct {
+	ID       string    `json:"id"`
+	Status   string    `json:"status"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	Error    string    `json:"error,omitempty"`
+	Result   any       `json:"result,omitempty"`
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	id := r.PathValue("id")
+	job, ok := s.pool.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	snap := job.Snapshot()
+	resp := JobResponse{
+		ID:       snap.ID,
+		Status:   string(snap.Status),
+		Created:  snap.Created,
+		Started:  snap.Started,
+		Finished: snap.Finished,
+		Result:   snap.Result,
+	}
+	if snap.Err != nil {
+		resp.Error = snap.Err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Stats is the GET /v1/stats body.
+type Stats struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Requests      uint64         `json:"requests"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	Latency       LatencyStats   `json:"service_latency_ms"`
+	Cache         CacheStats     `json:"cache"`
+	Jobs          map[string]int `json:"jobs"`
+}
+
+// LatencyStats are percentiles over the recent /v1/run window.
+type LatencyStats struct {
+	Samples int     `json:"samples"`
+	P50     float64 `json:"p50"`
+	P95     float64 `json:"p95"`
+	P99     float64 `json:"p99"`
+}
+
+// CacheStats extends the cache counters with the derived hit rate.
+type CacheStats struct {
+	resultcache.Stats
+	HitRate float64 `json:"hit_rate"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	uptime := time.Since(s.start).Seconds()
+	s.mu.Lock()
+	requests := s.requests
+	s.mu.Unlock()
+	p50, p95, p99, n := s.percentiles()
+	cs := s.runner.Stats()
+	counts := s.pool.Counts()
+	writeJSON(w, http.StatusOK, Stats{
+		UptimeSeconds: uptime,
+		Requests:      requests,
+		ThroughputRPS: float64(requests) / uptime,
+		Latency: LatencyStats{
+			Samples: n,
+			P50:     p50 * 1e3,
+			P95:     p95 * 1e3,
+			P99:     p99 * 1e3,
+		},
+		Cache: CacheStats{Stats: cs, HitRate: cs.HitRate()},
+		Jobs: map[string]int{
+			"queued":  counts.Queued,
+			"running": counts.Running,
+			"done":    counts.Done,
+			"failed":  counts.Failed,
+		},
+	})
+}

@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Options{Workers: 4, CacheBytes: 32 << 20})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close(context.Background())
+	})
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url string, body string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(raw, v); err != nil {
+			t.Fatalf("decoding %s response %q: %v", url, raw, err)
+		}
+	}
+	return resp
+}
+
+func TestWorkloadsAndDevices(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var wl struct {
+		Workloads []struct {
+			Name     string   `json:"Name"`
+			Variants []string `json:"Variants"`
+		} `json:"workloads"`
+	}
+	if resp := getJSON(t, ts.URL+"/v1/workloads", &wl); resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(wl.Workloads) != 9 {
+		t.Fatalf("%d workloads, want 9", len(wl.Workloads))
+	}
+
+	var devs struct {
+		Devices []string `json:"devices"`
+	}
+	getJSON(t, ts.URL+"/v1/devices", &devs)
+	if len(devs.Devices) != 3 {
+		t.Fatalf("devices %v", devs.Devices)
+	}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var out struct {
+		Report struct {
+			Workload       string  `json:"Workload"`
+			Variant        string  `json:"Variant"`
+			Device         string  `json:"Device"`
+			Batch          int     `json:"Batch"`
+			LatencySeconds float64 `json:"LatencySeconds"`
+			Kernels        int     `json:"Kernels"`
+		} `json:"report"`
+	}
+	resp := postJSON(t, ts.URL+"/v1/run", `{"workload":"avmnist","batch":16}`, &out)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	r := out.Report
+	if r.Workload != "avmnist" || r.Variant != "concat" || r.Device != "2080ti" || r.Batch != 16 {
+		t.Fatalf("report identity %+v", r)
+	}
+	if r.LatencySeconds <= 0 || r.Kernels == 0 {
+		t.Fatalf("empty report %+v", r)
+	}
+}
+
+func TestRunEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown workload", `{"workload":"nope"}`},
+		{"missing workload", `{}`},
+		{"unknown device", `{"workload":"avmnist","device":"tpu"}`},
+		{"malformed json", `{"workload":`},
+		{"unknown field", `{"workload":"avmnist","botch":9}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e struct {
+				Error string `json:"error"`
+			}
+			resp := postJSON(t, ts.URL+"/v1/run", tc.body, &e)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			if e.Error == "" {
+				t.Fatal("error body missing")
+			}
+		})
+	}
+}
+
+// TestConcurrentIdenticalRunsExecuteOnce is the serving acceptance
+// criterion: 64 concurrent POST /v1/run requests for the same config
+// must cost exactly one underlying profile execution, verified through
+// the /v1/stats cache counters.
+func TestConcurrentIdenticalRunsExecuteOnce(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	const clients = 64
+	body := `{"workload":"mmimdb","batch":32}`
+	var wg sync.WaitGroup
+	reports := make([]string, clients)
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+				return
+			}
+			reports[i] = string(raw)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i := 1; i < clients; i++ {
+		if reports[i] != reports[0] {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+
+	var stats Stats
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Cache.Executions != 1 {
+		t.Fatalf("%d executions for %d identical requests, want exactly 1 (cache %+v)",
+			stats.Cache.Executions, clients, stats.Cache)
+	}
+	if got := stats.Cache.Hits + stats.Cache.Coalesced; got != clients-1 {
+		t.Fatalf("hits %d + coalesced %d = %d, want %d",
+			stats.Cache.Hits, stats.Cache.Coalesced, got, clients-1)
+	}
+	if stats.Latency.Samples != clients {
+		t.Fatalf("latency samples %d, want %d", stats.Latency.Samples, clients)
+	}
+	if stats.Latency.P50 < 0 || stats.Latency.P99 < stats.Latency.P50 {
+		t.Fatalf("latency percentiles out of order: %+v", stats.Latency)
+	}
+	if stats.Requests < clients+1 {
+		t.Fatalf("requests %d", stats.Requests)
+	}
+	if stats.ThroughputRPS <= 0 {
+		t.Fatalf("throughput %f", stats.ThroughputRPS)
+	}
+}
+
+func TestSweepJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var accepted struct {
+		JobID  string `json:"job_id"`
+		Status string `json:"status"`
+		Href   string `json:"href"`
+	}
+	resp := postJSON(t, ts.URL+"/v1/sweep",
+		`{"workload":"avmnist","devices":["2080ti","nano"],"batches":[8,16],"tasks":100}`, &accepted)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	if accepted.JobID == "" || accepted.Href != "/v1/jobs/"+accepted.JobID {
+		t.Fatalf("accepted body %+v", accepted)
+	}
+
+	var job JobResponse
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, ts.URL+accepted.Href, &job)
+		if job.Status == "done" || job.Status == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", job.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if job.Status != "done" {
+		t.Fatalf("job failed: %s", job.Error)
+	}
+	raw, err := json.Marshal(job.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var table struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &table); err != nil {
+		t.Fatalf("job result is not a table: %s", raw)
+	}
+	if table.Title != "Sweep: avmnist/" {
+		t.Fatalf("table title %q", table.Title)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(table.Rows))
+	}
+	if last := table.Columns[len(table.Columns)-1]; last != "Total for 100 tasks (s)" {
+		t.Fatalf("tasks column missing: %v", table.Columns)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	var e struct {
+		Error string `json:"error"`
+	}
+	resp := postJSON(t, ts.URL+"/v1/sweep", `{"workload":"avmnist","devices":[],"batches":[]}`, &e)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	// Zero batches used to panic the handler via divide-by-zero.
+	resp = postJSON(t, ts.URL+"/v1/sweep", `{"workload":"avmnist","devices":["2080ti"],"batches":[0],"tasks":100}`, &e)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 for zero batch", resp.StatusCode)
+	}
+	if !strings.Contains(e.Error, "not positive") {
+		t.Fatalf("error %q", e.Error)
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	_, ts := newTestServer(t)
+	var e struct {
+		Error string `json:"error"`
+	}
+	resp := getJSON(t, ts.URL+"/v1/jobs/job-999999", &e)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/workloads", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+}

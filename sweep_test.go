@@ -1,0 +1,187 @@
+package mmbench
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mmbench/internal/jobs"
+	"mmbench/internal/report"
+)
+
+// seedSweepTable replicates the seed's sequential sweep implementation
+// (one mmbench.Run per grid cell, rows in grid order, ceil-batch total
+// time off) as the reference for the byte-identical acceptance check.
+func seedSweepTable(t *testing.T, workload, variant string, devices []string, batches []int) *Table {
+	t.Helper()
+	tbl := report.NewTable("Sweep: "+workload+"/"+variant,
+		"Device", "Batch", "Latency (ms)", "GPU (ms)", "CPU+Runtime", "Intermediate (MB)")
+	for _, dev := range devices {
+		for _, batch := range batches {
+			rep, err := Run(RunConfig{
+				Workload:   workload,
+				Variant:    variant,
+				Device:     strings.TrimSpace(dev),
+				BatchSize:  batch,
+				PaperScale: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl.AddRow(rep.Device, strconv.Itoa(batch),
+				report.Ms(rep.LatencySeconds), report.Ms(rep.GPUSeconds),
+				report.Pct(rep.CPUShare), report.F(rep.Memory.Intermediate))
+		}
+	}
+	return tbl
+}
+
+func renderAll(t *testing.T, tbl *Table) (text, csv, js string) {
+	t.Helper()
+	var bText, bCSV, bJSON strings.Builder
+	if err := tbl.WriteText(&bText); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WriteCSV(&bCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WriteJSON(&bJSON); err != nil {
+		t.Fatal(err)
+	}
+	return bText.String(), bCSV.String(), bJSON.String()
+}
+
+// TestParallelSweepByteIdentical is the determinism acceptance
+// criterion: a parallel sweep over a fixed workload/device/batch grid
+// renders byte-identically to the sequential seed implementation.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	devices := []string{"2080ti", "orin", "nano"}
+	batches := []int{8, 16, 32}
+	want := seedSweepTable(t, "avmnist", "concat", devices, batches)
+
+	pool := jobs.NewPool(8, 16)
+	defer pool.Shutdown(context.Background())
+	runner := NewCachedRunner(32 << 20)
+	got, err := RunSweep(SweepConfig{
+		Workload: "avmnist", Variant: "concat",
+		Devices: devices, Batches: batches,
+	}, runner.Run, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantText, wantCSV, wantJSON := renderAll(t, want)
+	gotText, gotCSV, gotJSON := renderAll(t, got)
+	if gotText != wantText {
+		t.Errorf("text output diverges:\n--- sequential seed ---\n%s--- parallel ---\n%s", wantText, gotText)
+	}
+	if gotCSV != wantCSV {
+		t.Errorf("csv output diverges:\n%q\nvs\n%q", wantCSV, gotCSV)
+	}
+	if gotJSON != wantJSON {
+		t.Errorf("json output diverges:\n%s\nvs\n%s", wantJSON, gotJSON)
+	}
+
+	// The pool must have been exercised and every distinct config run
+	// exactly once.
+	if s := runner.Stats(); s.Executions != uint64(len(devices)*len(batches)) {
+		t.Errorf("executions %d, want %d", s.Executions, len(devices)*len(batches))
+	}
+}
+
+// TestSweepRepeatedRunsStable guards against scheduling-order
+// nondeterminism: many parallel runs of the same grid must agree.
+func TestSweepRepeatedRunsStable(t *testing.T) {
+	cfg := SweepConfig{
+		Workload: "mosei", Variant: "",
+		Devices: []string{"2080ti", "nano"}, Batches: []int{8, 32},
+	}
+	pool := jobs.NewPool(4, 8)
+	defer pool.Shutdown(context.Background())
+	runner := NewCachedRunner(32 << 20)
+
+	first, err := RunSweep(cfg, runner.Run, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstText, _, _ := renderAll(t, first)
+	for i := 0; i < 3; i++ {
+		next, err := RunSweep(cfg, runner.Run, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nextText, _, _ := renderAll(t, next)
+		if nextText != firstText {
+			t.Fatalf("run %d diverged:\n%s\nvs\n%s", i+1, firstText, nextText)
+		}
+	}
+}
+
+// TestSweepTasksPartialBatch checks the total-time column: the final
+// partial batch is charged at its own modeled latency rather than a
+// full batch's.
+func TestSweepTasksPartialBatch(t *testing.T) {
+	const batch, tasks = 32, 100 // 3 full batches + remainder of 4
+	runner := NewCachedRunner(32 << 20)
+	tbl, err := RunSweep(SweepConfig{
+		Workload: "avmnist", Variant: "concat",
+		Devices: []string{"2080ti"}, Batches: []int{batch},
+		Tasks: tasks,
+	}, runner.Run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := Run(RunConfig{Workload: "avmnist", Variant: "concat", Device: "2080ti", BatchSize: batch, PaperScale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := Run(RunConfig{Workload: "avmnist", Variant: "concat", Device: "2080ti", BatchSize: tasks % batch, PaperScale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := report.F(full.LatencySeconds*float64(tasks/batch) + partial.LatencySeconds)
+	got := tbl.Rows[0][len(tbl.Rows[0])-1]
+	if got != want {
+		t.Errorf("total time %q, want %q (full-batch latency %f, partial %f)",
+			got, want, full.LatencySeconds, partial.LatencySeconds)
+	}
+
+	// An exact multiple charges whole batches only — no partial run.
+	tbl2, err := RunSweep(SweepConfig{
+		Workload: "avmnist", Variant: "concat",
+		Devices: []string{"2080ti"}, Batches: []int{batch},
+		Tasks: 2 * batch,
+	}, runner.Run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := report.F(full.LatencySeconds * 2)
+	if got2 := tbl2.Rows[0][len(tbl2.Rows[0])-1]; got2 != want2 {
+		t.Errorf("even-multiple total %q, want %q", got2, want2)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := RunSweep(SweepConfig{Workload: "avmnist"}, nil, nil); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := RunSweep(SweepConfig{
+		Workload: "nope", Devices: []string{"2080ti"}, Batches: []int{8},
+	}, nil, nil); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	// A zero batch with Tasks set used to divide by zero while building
+	// the grid; it must be rejected up front.
+	if _, err := RunSweep(SweepConfig{
+		Workload: "avmnist", Devices: []string{"2080ti"}, Batches: []int{0}, Tasks: 100,
+	}, nil, nil); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := RunSweep(SweepConfig{
+		Workload: "avmnist", Devices: []string{"2080ti"}, Batches: []int{8, -4},
+	}, nil, nil); err == nil {
+		t.Error("negative batch accepted")
+	}
+}
