@@ -17,9 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"mmbench"
+	"mmbench/internal/engine"
 	"mmbench/internal/report"
 )
 
@@ -87,6 +89,30 @@ func cmdDevices() error {
 	return nil
 }
 
+// computeWorkersFlag registers the -compute-workers flag shared by every
+// command that executes eager kernels.
+func computeWorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("compute-workers", 0,
+		"compute-engine workers for eager kernels (0 = auto: GOMAXPROCS split across job workers)")
+}
+
+// configureCompute sets the default compute engine's worker count.
+// When the flag is 0 the budget is GOMAXPROCS divided by the command's
+// job-level workers, so scheduler parallelism × kernel parallelism
+// never oversubscribes the machine. Worker count never changes results.
+func configureCompute(computeWorkers, jobWorkers int) {
+	if computeWorkers <= 0 {
+		if jobWorkers < 1 {
+			jobWorkers = 1
+		}
+		computeWorkers = runtime.GOMAXPROCS(0) / jobWorkers
+		if computeWorkers < 1 {
+			computeWorkers = 1
+		}
+	}
+	engine.SetDefaultWorkers(computeWorkers)
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	workload := fs.String("workload", "avmnist", "workload name (see list)")
@@ -96,9 +122,11 @@ func cmdRun(args []string) error {
 	paper := fs.Bool("paper", true, "use the paper-scale profile flavour")
 	eager := fs.Bool("eager", false, "execute real numerics instead of the analytic abstraction")
 	format := fs.String("format", "text", "output format: text, csv or json")
+	computeWorkers := computeWorkersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	configureCompute(*computeWorkers, 1)
 	rep, err := mmbench.Run(mmbench.RunConfig{
 		Workload:   *workload,
 		Variant:    *variant,
@@ -149,9 +177,11 @@ func cmdTrain(args []string) error {
 	epochs := fs.Int("epochs", 0, "training epochs (0 = suite default)")
 	lr := fs.Float64("lr", 0, "learning rate (0 = suite default)")
 	seed := fs.Int64("seed", 1, "data seed")
+	computeWorkers := computeWorkersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	configureCompute(*computeWorkers, 1)
 	res, err := mmbench.Train(mmbench.TrainConfig{
 		Workload: *workload,
 		Variant:  *variant,

@@ -21,9 +21,14 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	workers := fs.Int("workers", runtime.NumCPU(), "scheduler worker count")
 	cacheMB := fs.Int("cache-mb", 64, "result cache budget in MiB")
+	computeWorkers := computeWorkersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Job workers and kernel workers share one CPU budget: with W
+	// scheduler workers the auto setting gives each eager run
+	// GOMAXPROCS/W compute workers.
+	configureCompute(*computeWorkers, *workers)
 
 	s := serve.New(serve.Options{
 		Workers:    *workers,

@@ -28,9 +28,11 @@ func cmdSweep(args []string) error {
 	tasks := fs.Int("tasks", 0, "if > 0, also report total time for this many inference tasks")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel profiling workers (1 = sequential)")
 	format := fs.String("format", "text", "output format: text, csv or json")
+	computeWorkers := computeWorkersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	configureCompute(*computeWorkers, *workers)
 
 	batchList, err := parseInts(*batches)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"mmbench/internal/data"
 	"mmbench/internal/device"
+	"mmbench/internal/engine"
 	"mmbench/internal/memprof"
 	"mmbench/internal/mmnet"
 	"mmbench/internal/ops"
@@ -27,6 +28,10 @@ type RunOptions struct {
 	Eager bool
 	// Seed drives data generation in eager mode.
 	Seed int64
+	// Engine runs the eager kernels; nil uses the process default
+	// (worker count from -compute-workers). Results are identical at any
+	// worker count, so the engine never participates in cache keys.
+	Engine *engine.Engine
 }
 
 func (o *RunOptions) defaults() {
@@ -98,7 +103,7 @@ func Run(n *mmnet.Network, opts RunOptions) (*RunResult, error) {
 		batch = n.Gen.AbstractBatch(opts.BatchSize)
 	}
 
-	c := &ops.Ctx{Rec: builder}
+	c := &ops.Ctx{Rec: builder, Eng: opts.Engine}
 	out := n.Forward(c, batch)
 
 	// Results return to the host.

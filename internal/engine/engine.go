@@ -1,0 +1,234 @@
+// Package engine is MMBench's shared compute engine: a persistent worker
+// pool with deterministic row/tile partitioning plus a size-bucketed
+// float32 buffer pool. Every eager kernel in internal/ops runs its hot
+// loops through an Engine, so one knob (-compute-workers) bounds the
+// numeric parallelism of the whole stack — CLI runs, sweeps and every
+// `mmbench serve` job alike.
+//
+// Determinism contract: ParallelFor splits [0,n) into chunks whose
+// boundaries depend only on n and grain — never on the worker count or
+// on scheduling. Kernels keep a fixed per-element accumulation order
+// inside each chunk, so results are bitwise identical at 1, 4 or 16
+// workers, and identical to a serial run. gradcheck, trace emission and
+// the result cache's canonical keys all rely on this.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine executes data-parallel loops on a persistent worker pool.
+// The zero value is not usable; call New. A nil *Engine is valid and
+// runs everything serially (no pool, no workers).
+type Engine struct {
+	workers   int
+	jobs      chan *job
+	closeOnce sync.Once
+
+	calls atomic.Int64 // ParallelFor invocations
+	tasks atomic.Int64 // chunks executed (serial fast path counts 1)
+
+	pool bufPool
+}
+
+// job is one ParallelFor invocation. Workers and the submitting
+// goroutine race on next to claim chunk indices; chunk boundaries are a
+// pure function of (n, grain).
+type job struct {
+	n, grain int
+	chunks   int64
+	next     atomic.Int64
+	fn       func(lo, hi int)
+	wg       sync.WaitGroup
+
+	panicMu  sync.Mutex
+	panicVal any
+}
+
+// New builds an engine with the given worker count (0 or negative means
+// GOMAXPROCS). A 1-worker engine runs every loop inline on the calling
+// goroutine and starts no background goroutines.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{workers: workers}
+	e.pool.init()
+	if workers > 1 {
+		// Buffered so ParallelFor's wake-up sends never block even when
+		// every worker is busy; stale pointers drain as no-ops.
+		e.jobs = make(chan *job, 4*workers)
+		for i := 0; i < workers-1; i++ {
+			go e.workerLoop()
+		}
+	}
+	return e
+}
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int {
+	if e == nil {
+		return 1
+	}
+	return e.workers
+}
+
+func (e *Engine) workerLoop() {
+	for j := range e.jobs {
+		e.drain(j)
+	}
+}
+
+// Close stops the background workers. Only needed for short-lived
+// engines in tests; the default engine lives for the process. Close must
+// not race with ParallelFor on the same engine.
+func (e *Engine) Close() {
+	if e != nil && e.jobs != nil {
+		e.closeOnce.Do(func() { close(e.jobs) })
+	}
+}
+
+// ParallelFor executes fn over [0,n) split into chunks of the given
+// grain. Chunks run concurrently across the pool; the calling goroutine
+// always participates, so the call completes even if every worker is
+// busy (nested ParallelFor is safe). fn must write only to regions
+// disjoint per chunk. Panics inside fn are re-raised on the caller.
+func (e *Engine) ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if e == nil || e.workers <= 1 || chunks == 1 {
+		if e != nil {
+			e.calls.Add(1)
+			e.tasks.Add(1)
+		}
+		fn(0, n)
+		return
+	}
+	e.calls.Add(1)
+	j := &job{n: n, grain: grain, chunks: int64(chunks), fn: fn}
+	j.wg.Add(chunks)
+	// Wake up to chunks-1 helpers; the caller claims chunks too.
+	wake := chunks - 1
+	if wake > e.workers-1 {
+		wake = e.workers - 1
+	}
+	for i := 0; i < wake; i++ {
+		select {
+		case e.jobs <- j:
+		default:
+			i = wake // queue full: enough wake-ups are already pending
+		}
+	}
+	e.drain(j)
+	j.wg.Wait()
+	if j.panicVal != nil {
+		panic(j.panicVal)
+	}
+}
+
+// drain claims and runs chunks until the job is exhausted.
+func (e *Engine) drain(j *job) {
+	for {
+		i := j.next.Add(1) - 1
+		if i >= j.chunks {
+			return
+		}
+		e.runChunk(j, int(i))
+	}
+}
+
+func (e *Engine) runChunk(j *job, i int) {
+	defer j.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			// Keep the original panic value (type intact for callers'
+			// recover handlers); it is re-raised on the submitting
+			// goroutine after the job drains.
+			j.panicMu.Lock()
+			if j.panicVal == nil {
+				j.panicVal = r
+			}
+			j.panicMu.Unlock()
+		}
+	}()
+	lo := i * j.grain
+	hi := lo + j.grain
+	if hi > j.n {
+		hi = j.n
+	}
+	j.fn(lo, hi)
+	e.tasks.Add(1)
+}
+
+// Stats is a snapshot of engine activity.
+type Stats struct {
+	Workers int   `json:"workers"`
+	Calls   int64 `json:"parallel_calls"`
+	Tasks   int64 `json:"tasks_executed"`
+	// Buffer-pool effectiveness.
+	PoolHits    int64 `json:"pool_hits"`
+	PoolMisses  int64 `json:"pool_misses"`
+	BytesReused int64 `json:"bytes_reused"`
+}
+
+// HitRate returns the pool hit fraction (0 when idle).
+func (s Stats) HitRate() float64 {
+	total := s.PoolHits + s.PoolMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PoolHits) / float64(total)
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	if e == nil {
+		return Stats{Workers: 1}
+	}
+	return Stats{
+		Workers:     e.workers,
+		Calls:       e.calls.Load(),
+		Tasks:       e.tasks.Load(),
+		PoolHits:    e.pool.hits.Load(),
+		PoolMisses:  e.pool.misses.Load(),
+		BytesReused: e.pool.bytesReused.Load(),
+	}
+}
+
+var (
+	defaultMu      sync.Mutex
+	defaultEngine  *Engine
+	defaultWorkers int // 0 = GOMAXPROCS at first use
+)
+
+// Default returns the process-wide engine, created lazily with
+// SetDefaultWorkers' count (GOMAXPROCS if never set).
+func Default() *Engine {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultEngine == nil {
+		defaultEngine = New(defaultWorkers)
+	}
+	return defaultEngine
+}
+
+// SetDefaultWorkers reconfigures the default engine's worker count (0
+// restores GOMAXPROCS). It is meant for process start-up (CLI flag
+// parsing); calling it while kernels are running on the default engine
+// is a race.
+func SetDefaultWorkers(n int) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	defaultWorkers = n
+	if defaultEngine != nil {
+		defaultEngine.Close()
+		defaultEngine = nil
+	}
+}

@@ -4,8 +4,127 @@ import (
 	"testing"
 
 	"mmbench/internal/autograd"
+	"mmbench/internal/engine"
 	"mmbench/internal/tensor"
 )
+
+// naiveMatMulNN is the pre-refactor single-threaded kernel, kept here as
+// the speedup baseline for BenchmarkEngineMatMul (the acceptance bar is
+// ≥3× on ≥4 cores with fewer allocs/op).
+func naiveMatMulNN(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		dr := dst[i*n : (i+1)*n]
+		for l, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b[l*n : (l+1)*n]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// naiveConv2D is the pre-refactor direct convolution loop (no im2col, no
+// parallelism), the baseline for BenchmarkEngineConv.
+func naiveConv2D(od, xd, wd []float32, n, ch, h, w, outC, kh, kw, oh, ow, stride, pad int) {
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < outC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum float32
+					for ci := 0; ci < ch; ci++ {
+						for ky := 0; ky < kh; ky++ {
+							iy := oy*stride + ky - pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							xRow := xd[((ni*ch+ci)*h+iy)*w:]
+							wRow := wd[((oc*ch+ci)*kh+ky)*kw:]
+							for kx := 0; kx < kw; kx++ {
+								ix := ox*stride + kx - pad
+								if ix < 0 || ix >= w {
+									continue
+								}
+								sum += xRow[ix] * wRow[kx]
+							}
+						}
+					}
+					od[((ni*outC+oc)*oh+oy)*ow+ox] = sum
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkNaiveMatMul512 is the pre-refactor 512×512×512 kernel.
+func BenchmarkNaiveMatMul512(b *testing.B) {
+	g := tensor.NewRNG(41)
+	x, y := tensor.New(512, 512), tensor.New(512, 512)
+	g.Uniform(x, -1, 1)
+	g.Uniform(y, -1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := make([]float32, 512*512)
+		naiveMatMulNN(dst, x.Data(), y.Data(), 512, 512, 512)
+	}
+}
+
+// BenchmarkEngineMatMul is the same 512×512×512 f32 product through the
+// blocked, engine-parallel MatMul operator (default engine: GOMAXPROCS
+// workers). Compare against BenchmarkNaiveMatMul512.
+func BenchmarkEngineMatMul(b *testing.B) {
+	g := tensor.NewRNG(41)
+	x := benchVar(g, 512, 512)
+	y := benchVar(g, 512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Infer().MatMul(x, y)
+	}
+}
+
+// BenchmarkNaiveConv is the pre-refactor direct convolution:
+// 8×16×28×28 input, 32×16×3×3 weights, stride 1, pad 1.
+func BenchmarkNaiveConv(b *testing.B) {
+	g := tensor.NewRNG(42)
+	x, w := tensor.New(8, 16, 28, 28), tensor.New(32, 16, 3, 3)
+	g.Uniform(x, -1, 1)
+	g.Uniform(w, -1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		od := make([]float32, 8*32*28*28)
+		naiveConv2D(od, x.Data(), w.Data(), 8, 16, 28, 28, 32, 3, 3, 28, 28, 1, 1)
+	}
+}
+
+// BenchmarkEngineConv is the same convolution through the im2col + GEMM
+// path with pooled scratch on the default engine.
+func BenchmarkEngineConv(b *testing.B) {
+	g := tensor.NewRNG(42)
+	x := benchVar(g, 8, 16, 28, 28)
+	w := benchVar(g, 32, 16, 3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Infer().Conv2D(x, w, nil, 1, 1)
+	}
+}
+
+// BenchmarkEngineMatMul4Workers pins a 4-worker engine regardless of
+// GOMAXPROCS, for like-for-like scaling comparisons across machines.
+func BenchmarkEngineMatMul4Workers(b *testing.B) {
+	e := engine.New(4)
+	defer e.Close()
+	g := tensor.NewRNG(41)
+	x := benchVar(g, 512, 512)
+	y := benchVar(g, 512, 512)
+	c := &Ctx{Eng: e}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MatMul(x, y)
+	}
+}
 
 func benchVar(g *tensor.RNG, shape ...int) *Var {
 	t := tensor.New(shape...)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"mmbench/internal/engine"
 	"mmbench/internal/kernels"
 )
 
@@ -16,8 +17,46 @@ func convOut(in, kernel, stride, pad int) int {
 	return out
 }
 
+// im2col expands one sample xd [C,H,W] into col [C·KH·KW, OH·OW] so the
+// convolution becomes a GEMM. Every entry is written (padding becomes
+// 0), so a pooled buffer can be reused across samples without clearing.
+// Rows are independent: the engine partitions over channels.
+func im2col(e *engine.Engine, col, xd []float32, ch, h, w, kh, kw, oh, ow, stride, pad int) {
+	m := oh * ow
+	e.ParallelFor(ch, 1, func(c0, c1 int) {
+		for ci := c0; ci < c1; ci++ {
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					crow := col[((ci*kh+ky)*kw+kx)*m : ((ci*kh+ky)*kw+kx+1)*m]
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*stride + ky - pad
+						dst := crow[oy*ow : (oy+1)*ow]
+						if iy < 0 || iy >= h {
+							for i := range dst {
+								dst[i] = 0
+							}
+							continue
+						}
+						src := xd[(ci*h+iy)*w : (ci*h+iy+1)*w]
+						for ox := range dst {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								dst[ox] = 0
+							} else {
+								dst[ox] = src[ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
 // Conv2D applies a 2-D convolution. x is [N,C,H,W]; w is [OutC,C,KH,KW];
-// bias is [OutC] and may be nil.
+// bias is [OutC] and may be nil. The forward pass lowers each sample to
+// im2col + GEMM on the compute engine, drawing the column scratch from
+// the engine's buffer pool (the buffer never outlives the call).
 func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
 	assertRank(x, 4, "Conv2D")
 	assertRank(w, 4, "Conv2D weight")
@@ -43,96 +82,123 @@ func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
 		return out
 	}
 
+	e := c.engine()
 	xd, wdta, od := x.Value.Data(), w.Value.Data(), out.Value.Data()
-	forward := func() {
-		for ni := 0; ni < n; ni++ {
-			for oc := 0; oc < outC; oc++ {
-				var b float32
-				if bias != nil {
-					b = bias.Value.Data()[oc]
-				}
-				for oy := 0; oy < oh; oy++ {
-					for ox := 0; ox < ow; ox++ {
-						sum := b
-						for ci := 0; ci < ch; ci++ {
-							for ky := 0; ky < kh; ky++ {
-								iy := oy*stride + ky - pad
-								if iy < 0 || iy >= h {
-									continue
-								}
-								xRow := xd[((ni*ch+ci)*h+iy)*wd:]
-								wRow := wdta[((oc*ch+ci)*kh+ky)*kw:]
-								for kx := 0; kx < kw; kx++ {
-									ix := ox*stride + kx - pad
-									if ix < 0 || ix >= wd {
-										continue
-									}
-									sum += xRow[ix] * wRow[kx]
-								}
-							}
-						}
-						od[((ni*outC+oc)*oh+oy)*ow+ox] = sum
-					}
+	kDim := ch * kh * kw
+	m := oh * ow
+	col := e.GetUninit(kDim * m) // im2col writes every entry
+	for ni := 0; ni < n; ni++ {
+		im2col(e, col, xd[ni*ch*h*wd:(ni+1)*ch*h*wd], ch, h, wd, kh, kw, oh, ow, stride, pad)
+		matmulNN(e, od[ni*outC*m:(ni+1)*outC*m], wdta, col, outC, kDim, m)
+	}
+	e.Put(col)
+	if bias != nil {
+		bd := bias.Value.Data()
+		e.ParallelFor(n*outC, rowGrain(m), func(r0, r1 int) {
+			for r := r0; r < r1; r++ {
+				b := bd[r%outC]
+				row := od[r*m : (r+1)*m]
+				for i := range row {
+					row[i] += b
 				}
 			}
-		}
+		})
 	}
-	forward()
 
 	if c.taping(inputs...) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
-			var xg, wg []float32
 			if x.NeedGrad {
-				xg = x.EnsureGrad().Data()
-			}
-			if w.NeedGrad {
-				wg = w.EnsureGrad().Data()
-			}
-			for ni := 0; ni < n; ni++ {
-				for oc := 0; oc < outC; oc++ {
-					for oy := 0; oy < oh; oy++ {
-						for ox := 0; ox < ow; ox++ {
-							gv := g[((ni*outC+oc)*oh+oy)*ow+ox]
-							if gv == 0 {
-								continue
-							}
-							for ci := 0; ci < ch; ci++ {
-								for ky := 0; ky < kh; ky++ {
-									iy := oy*stride + ky - pad
-									if iy < 0 || iy >= h {
+				// Input gradients are disjoint per sample.
+				xg := x.EnsureGrad().Data()
+				e.ParallelFor(n, 1, func(n0, n1 int) {
+					for ni := n0; ni < n1; ni++ {
+						for oc := 0; oc < outC; oc++ {
+							for oy := 0; oy < oh; oy++ {
+								for ox := 0; ox < ow; ox++ {
+									gv := g[((ni*outC+oc)*oh+oy)*ow+ox]
+									if gv == 0 {
 										continue
 									}
-									for kx := 0; kx < kw; kx++ {
-										ix := ox*stride + kx - pad
-										if ix < 0 || ix >= wd {
-											continue
-										}
-										xi := ((ni*ch+ci)*h+iy)*wd + ix
-										wi := ((oc*ch+ci)*kh+ky)*kw + kx
-										if xg != nil {
-											xg[xi] += gv * wdta[wi]
-										}
-										if wg != nil {
-											wg[wi] += gv * xd[xi]
+									for ci := 0; ci < ch; ci++ {
+										for ky := 0; ky < kh; ky++ {
+											iy := oy*stride + ky - pad
+											if iy < 0 || iy >= h {
+												continue
+											}
+											for kx := 0; kx < kw; kx++ {
+												ix := ox*stride + kx - pad
+												if ix < 0 || ix >= wd {
+													continue
+												}
+												xg[(ni*ch+ci)*h*wd+iy*wd+ix] += gv * wdta[((oc*ch+ci)*kh+ky)*kw+kx]
+											}
 										}
 									}
 								}
 							}
 						}
 					}
-				}
+				})
 			}
-			if bias != nil && bias.NeedGrad {
-				bg := bias.EnsureGrad().Data()
-				for ni := 0; ni < n; ni++ {
-					for oc := 0; oc < outC; oc++ {
-						base := ((ni*outC + oc) * oh) * ow
-						for i := 0; i < oh*ow; i++ {
-							bg[oc] += g[base+i]
+			if w.NeedGrad {
+				// Weight (and bias) gradients are disjoint per output
+				// channel; the (ni,oy,ox) accumulation order per element
+				// matches the serial kernel.
+				wg := w.EnsureGrad().Data()
+				var bg []float32
+				if bias != nil && bias.NeedGrad {
+					bg = bias.EnsureGrad().Data()
+				}
+				e.ParallelFor(outC, 1, func(c0, c1 int) {
+					for oc := c0; oc < c1; oc++ {
+						for ni := 0; ni < n; ni++ {
+							for oy := 0; oy < oh; oy++ {
+								for ox := 0; ox < ow; ox++ {
+									gv := g[((ni*outC+oc)*oh+oy)*ow+ox]
+									if gv == 0 {
+										continue
+									}
+									for ci := 0; ci < ch; ci++ {
+										for ky := 0; ky < kh; ky++ {
+											iy := oy*stride + ky - pad
+											if iy < 0 || iy >= h {
+												continue
+											}
+											for kx := 0; kx < kw; kx++ {
+												ix := ox*stride + kx - pad
+												if ix < 0 || ix >= wd {
+													continue
+												}
+												wg[((oc*ch+ci)*kh+ky)*kw+kx] += gv * xd[(ni*ch+ci)*h*wd+iy*wd+ix]
+											}
+										}
+									}
+								}
+							}
+						}
+						if bg != nil {
+							for ni := 0; ni < n; ni++ {
+								base := ((ni*outC + oc) * oh) * ow
+								for i := 0; i < oh*ow; i++ {
+									bg[oc] += g[base+i]
+								}
+							}
 						}
 					}
-				}
+				})
+			} else if bias != nil && bias.NeedGrad {
+				bg := bias.EnsureGrad().Data()
+				e.ParallelFor(outC, 1, func(c0, c1 int) {
+					for oc := c0; oc < c1; oc++ {
+						for ni := 0; ni < n; ni++ {
+							base := ((ni*outC + oc) * oh) * ow
+							for i := 0; i < oh*ow; i++ {
+								bg[oc] += g[base+i]
+							}
+						}
+					}
+				})
 			}
 		})
 	}
@@ -153,29 +219,38 @@ func (c *Ctx) MaxPool2D(x *Var, window int) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	xd, od := x.Value.Data(), out.Value.Data()
-	argmax := make([]int32, len(od))
-	for nc := 0; nc < n*ch; nc++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				best := float32(math.Inf(-1))
-				bestIdx := 0
-				for ky := 0; ky < window; ky++ {
-					for kx := 0; kx < window; kx++ {
-						idx := (nc*h+oy*window+ky)*w + ox*window + kx
-						if xd[idx] > best {
-							best = xd[idx]
-							bestIdx = idx
+	taping := c.taping(x)
+	var argmax []int32
+	if taping {
+		argmax = make([]int32, len(od))
+	}
+	e.ParallelFor(n*ch, rowGrain(oh*ow), func(nc0, nc1 int) {
+		for nc := nc0; nc < nc1; nc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := 0
+					for ky := 0; ky < window; ky++ {
+						for kx := 0; kx < window; kx++ {
+							idx := (nc*h+oy*window+ky)*w + ox*window + kx
+							if xd[idx] > best {
+								best = xd[idx]
+								bestIdx = idx
+							}
 						}
 					}
+					o := (nc*oh+oy)*ow + ox
+					od[o] = best
+					if taping {
+						argmax[o] = int32(bestIdx)
+					}
 				}
-				o := (nc*oh+oy)*ow + ox
-				od[o] = best
-				argmax[o] = int32(bestIdx)
 			}
 		}
-	}
-	if c.taping(x) {
+	})
+	if taping {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			xg := x.EnsureGrad().Data()
@@ -201,37 +276,42 @@ func (c *Ctx) AvgPool2D(x *Var, window int) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	inv := 1 / float32(window*window)
 	xd, od := x.Value.Data(), out.Value.Data()
-	for nc := 0; nc < n*ch; nc++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				var sum float32
-				for ky := 0; ky < window; ky++ {
-					for kx := 0; kx < window; kx++ {
-						sum += xd[(nc*h+oy*window+ky)*w+ox*window+kx]
+	e.ParallelFor(n*ch, rowGrain(oh*ow), func(nc0, nc1 int) {
+		for nc := nc0; nc < nc1; nc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum float32
+					for ky := 0; ky < window; ky++ {
+						for kx := 0; kx < window; kx++ {
+							sum += xd[(nc*h+oy*window+ky)*w+ox*window+kx]
+						}
 					}
+					od[(nc*oh+oy)*ow+ox] = sum * inv
 				}
-				od[(nc*oh+oy)*ow+ox] = sum * inv
 			}
 		}
-	}
+	})
 	if c.taping(x) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			xg := x.EnsureGrad().Data()
-			for nc := 0; nc < n*ch; nc++ {
-				for oy := 0; oy < oh; oy++ {
-					for ox := 0; ox < ow; ox++ {
-						gv := g[(nc*oh+oy)*ow+ox] * inv
-						for ky := 0; ky < window; ky++ {
-							for kx := 0; kx < window; kx++ {
-								xg[(nc*h+oy*window+ky)*w+ox*window+kx] += gv
+			e.ParallelFor(n*ch, rowGrain(oh*ow), func(nc0, nc1 int) {
+				for nc := nc0; nc < nc1; nc++ {
+					for oy := 0; oy < oh; oy++ {
+						for ox := 0; ox < ow; ox++ {
+							gv := g[(nc*oh+oy)*ow+ox] * inv
+							for ky := 0; ky < window; ky++ {
+								for kx := 0; kx < window; kx++ {
+									xg[(nc*h+oy*window+ky)*w+ox*window+kx] += gv
+								}
 							}
 						}
 					}
 				}
-			}
+			})
 		})
 	}
 	return out
@@ -248,26 +328,31 @@ func (c *Ctx) GlobalAvgPool2D(x *Var) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	plane := h * w
 	inv := 1 / float32(plane)
 	xd, od := x.Value.Data(), out.Value.Data()
-	for nc := 0; nc < n*ch; nc++ {
-		var sum float32
-		for i := 0; i < plane; i++ {
-			sum += xd[nc*plane+i]
+	e.ParallelFor(n*ch, rowGrain(plane), func(nc0, nc1 int) {
+		for nc := nc0; nc < nc1; nc++ {
+			var sum float32
+			for i := 0; i < plane; i++ {
+				sum += xd[nc*plane+i]
+			}
+			od[nc] = sum * inv
 		}
-		od[nc] = sum * inv
-	}
+	})
 	if c.taping(x) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			xg := x.EnsureGrad().Data()
-			for nc := 0; nc < n*ch; nc++ {
-				gv := g[nc] * inv
-				for i := 0; i < plane; i++ {
-					xg[nc*plane+i] += gv
+			e.ParallelFor(n*ch, rowGrain(plane), func(nc0, nc1 int) {
+				for nc := nc0; nc < nc1; nc++ {
+					gv := g[nc] * inv
+					for i := 0; i < plane; i++ {
+						xg[nc*plane+i] += gv
+					}
 				}
-			}
+			})
 		})
 	}
 	return out
@@ -283,25 +368,30 @@ func (c *Ctx) Upsample2D(x *Var) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	xd, od := x.Value.Data(), out.Value.Data()
-	for nc := 0; nc < n*ch; nc++ {
-		for y := 0; y < 2*h; y++ {
-			for xx := 0; xx < 2*w; xx++ {
-				od[(nc*2*h+y)*2*w+xx] = xd[(nc*h+y/2)*w+xx/2]
+	e.ParallelFor(n*ch, rowGrain(4*h*w), func(nc0, nc1 int) {
+		for nc := nc0; nc < nc1; nc++ {
+			for y := 0; y < 2*h; y++ {
+				for xx := 0; xx < 2*w; xx++ {
+					od[(nc*2*h+y)*2*w+xx] = xd[(nc*h+y/2)*w+xx/2]
+				}
 			}
 		}
-	}
+	})
 	if c.taping(x) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			xg := x.EnsureGrad().Data()
-			for nc := 0; nc < n*ch; nc++ {
-				for y := 0; y < 2*h; y++ {
-					for xx := 0; xx < 2*w; xx++ {
-						xg[(nc*h+y/2)*w+xx/2] += g[(nc*2*h+y)*2*w+xx]
+			e.ParallelFor(n*ch, rowGrain(4*h*w), func(nc0, nc1 int) {
+				for nc := nc0; nc < nc1; nc++ {
+					for y := 0; y < 2*h; y++ {
+						for xx := 0; xx < 2*w; xx++ {
+							xg[(nc*h+y/2)*w+xx/2] += g[(nc*2*h+y)*2*w+xx]
+						}
 					}
 				}
-			}
+			})
 		})
 	}
 	return out

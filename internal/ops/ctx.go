@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"mmbench/internal/autograd"
+	"mmbench/internal/engine"
 	"mmbench/internal/kernels"
 	"mmbench/internal/tensor"
 )
@@ -41,10 +42,40 @@ type Ctx struct {
 	RNG *tensor.RNG
 	// Training toggles train-time behaviour (dropout active).
 	Training bool
+	// Eng executes the eager kernels' hot loops. When nil, operators use
+	// engine.Default() (worker count from -compute-workers, default
+	// GOMAXPROCS). Results are bitwise identical at any worker count.
+	Eng *engine.Engine
 }
 
 // Infer returns a minimal inference context with no tape or recorder.
 func Infer() *Ctx { return &Ctx{} }
+
+// engine returns the compute engine for this context's kernels.
+func (c *Ctx) engine() *engine.Engine {
+	if c.Eng != nil {
+		return c.Eng
+	}
+	return engine.Default()
+}
+
+// elemGrain is the flat-element grain for parallel element-wise loops.
+const elemGrain = 8192
+
+// rowGrain returns the ParallelFor grain for loops partitioned over rows
+// of width d: enough rows per chunk to amortize dispatch. It depends
+// only on the shape, never on the machine, keeping chunking (and thus
+// results) deterministic.
+func rowGrain(d int) int {
+	if d <= 0 {
+		return 1
+	}
+	g := elemGrain / d
+	if g < 1 {
+		return 1
+	}
+	return g
+}
 
 func (c *Ctx) emit(s kernels.Spec) {
 	if c.Rec != nil {

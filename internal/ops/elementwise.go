@@ -23,10 +23,13 @@ func (c *Ctx) Add(a, b *Var) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	ad, bd, od := a.Value.Data(), b.Value.Data(), out.Value.Data()
-	for i := range od {
-		od[i] = ad[i] + bd[i]
-	}
+	e.ParallelFor(n, elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			od[i] = ad[i] + bd[i]
+		}
+	})
 	if c.taping(a, b) {
 		c.tapeStep(out, func() {
 			if a.NeedGrad {
@@ -49,24 +52,31 @@ func (c *Ctx) Mul(a, b *Var) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	ad, bd, od := a.Value.Data(), b.Value.Data(), out.Value.Data()
-	for i := range od {
-		od[i] = ad[i] * bd[i]
-	}
+	e.ParallelFor(n, elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			od[i] = ad[i] * bd[i]
+		}
+	})
 	if c.taping(a, b) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			if a.NeedGrad {
 				ag := a.EnsureGrad().Data()
-				for i := range g {
-					ag[i] += g[i] * bd[i]
-				}
+				e.ParallelFor(n, elemGrain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						ag[i] += g[i] * bd[i]
+					}
+				})
 			}
 			if b.NeedGrad {
 				bg := b.EnsureGrad().Data()
-				for i := range g {
-					bg[i] += g[i] * ad[i]
-				}
+				e.ParallelFor(n, elemGrain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						bg[i] += g[i] * ad[i]
+					}
+				})
 			}
 		})
 	}
@@ -81,10 +91,13 @@ func (c *Ctx) Scale(a *Var, alpha float32) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	ad, od := a.Value.Data(), out.Value.Data()
-	for i := range od {
-		od[i] = ad[i] * alpha
-	}
+	e.ParallelFor(n, elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			od[i] = ad[i] * alpha
+		}
+	})
 	if c.taping(a) {
 		c.tapeStep(out, func() {
 			a.EnsureGrad().AddScaled(out.Grad, alpha)
@@ -101,17 +114,23 @@ func (c *Ctx) unary(a *Var, spec kernels.Spec, f func(x float32) float32, df fun
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
+	n := a.Value.Size()
 	ad, od := a.Value.Data(), out.Value.Data()
-	for i := range od {
-		od[i] = f(ad[i])
-	}
+	e.ParallelFor(n, elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			od[i] = f(ad[i])
+		}
+	})
 	if c.taping(a) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			ag := a.EnsureGrad().Data()
-			for i := range g {
-				ag[i] += g[i] * df(ad[i], od[i])
-			}
+			e.ParallelFor(n, elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ag[i] += g[i] * df(ad[i], od[i])
+				}
+			})
 		})
 	}
 	return out
@@ -171,6 +190,10 @@ func (c *Ctx) GELU(a *Var) *Var {
 
 // Dropout zeroes each element with probability p during training and
 // rescales survivors by 1/(1-p). In inference mode it is the identity.
+//
+// All RNG draws happen on the coordinating goroutine before any parallel
+// work, so the mask — and therefore the output — is a pure function of
+// the RNG state, identical at any engine worker count.
 func (c *Ctx) Dropout(a *Var, p float32) *Var {
 	if !c.Training || p <= 0 {
 		return a
@@ -184,6 +207,9 @@ func (c *Ctx) Dropout(a *Var, p float32) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
+	// The mask is captured by the backward closure, so it is allocated
+	// normally rather than pooled.
 	mask := make([]float32, n)
 	scale := 1 / (1 - p)
 	for i := range mask {
@@ -192,16 +218,20 @@ func (c *Ctx) Dropout(a *Var, p float32) *Var {
 		}
 	}
 	ad, od := a.Value.Data(), out.Value.Data()
-	for i := range od {
-		od[i] = ad[i] * mask[i]
-	}
+	e.ParallelFor(n, elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			od[i] = ad[i] * mask[i]
+		}
+	})
 	if c.taping(a) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			ag := a.EnsureGrad().Data()
-			for i := range g {
-				ag[i] += g[i] * mask[i]
-			}
+			e.ParallelFor(n, elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ag[i] += g[i] * mask[i]
+				}
+			})
 		})
 	}
 	return out
@@ -221,14 +251,17 @@ func (c *Ctx) AddRows(x, p *Var) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	xd, pd, od := x.Value.Data(), p.Value.Data(), out.Value.Data()
-	for bi := 0; bi < b; bi++ {
-		row := xd[bi*t*d : (bi+1)*t*d]
-		orow := od[bi*t*d : (bi+1)*t*d]
-		for i := range row {
-			orow[i] = row[i] + pd[i]
+	e.ParallelFor(b, rowGrain(t*d), func(b0, b1 int) {
+		for bi := b0; bi < b1; bi++ {
+			row := xd[bi*t*d : (bi+1)*t*d]
+			orow := od[bi*t*d : (bi+1)*t*d]
+			for i := range row {
+				orow[i] = row[i] + pd[i]
+			}
 		}
-	}
+	})
 	if c.taping(x, p) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
@@ -236,13 +269,17 @@ func (c *Ctx) AddRows(x, p *Var) *Var {
 				x.EnsureGrad().AddScaled(out.Grad, 1)
 			}
 			if p.NeedGrad {
+				// Sums across the batch dimension: partition over [T,D]
+				// positions so each accumulates its own batch sum in
+				// fixed order.
 				pg := p.EnsureGrad().Data()
-				for bi := 0; bi < b; bi++ {
-					grow := g[bi*t*d : (bi+1)*t*d]
-					for i := range grow {
-						pg[i] += grow[i]
+				e.ParallelFor(t*d, elemGrain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						for bi := 0; bi < b; bi++ {
+							pg[i] += g[bi*t*d+i]
+						}
 					}
-				}
+				})
 			}
 		})
 	}

@@ -23,20 +23,30 @@ func (c *Ctx) Embedding(table *Var, ids [][]int) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	td, od := table.Value.Data(), out.Value.Data()
-	for bi, row := range ids {
+	for _, row := range ids {
 		if len(row) != t {
 			panic("ops: Embedding ragged id batch")
 		}
-		for ti, id := range row {
+		for _, id := range row {
 			if id < 0 || id >= v {
 				panic(fmt.Sprintf("ops: Embedding id %d outside vocabulary %d", id, v))
 			}
-			copy(od[(bi*t+ti)*d:(bi*t+ti+1)*d], td[id*d:(id+1)*d])
 		}
 	}
+	e.ParallelFor(b, rowGrain(t*d), func(b0, b1 int) {
+		for bi := b0; bi < b1; bi++ {
+			for ti, id := range ids[bi] {
+				copy(od[(bi*t+ti)*d:(bi*t+ti+1)*d], td[id*d:(id+1)*d])
+			}
+		}
+	})
 	if c.taping(table) {
 		c.tapeStep(out, func() {
+			// Scatter-add: the same vocabulary row can appear in many
+			// batch positions, so the accumulation stays on the
+			// coordinating goroutine (fixed order, no write races).
 			g := out.Grad.Data()
 			tg := table.EnsureGrad().Data()
 			for bi, row := range ids {
@@ -70,6 +80,7 @@ func (c *Ctx) OuterFusion(x, y *Var) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	xd, yd, od := x.Value.Data(), y.Value.Data(), out.Value.Data()
 	xv := func(bi, i int) float32 {
 		if i == 0 {
@@ -83,13 +94,15 @@ func (c *Ctx) OuterFusion(x, y *Var) *Var {
 		}
 		return yd[bi*dy+j-1]
 	}
-	for bi := 0; bi < b; bi++ {
-		for i := 0; i < px; i++ {
-			for j := 0; j < py; j++ {
-				od[bi*px*py+i*py+j] = xv(bi, i) * yv(bi, j)
+	e.ParallelFor(b, rowGrain(px*py), func(b0, b1 int) {
+		for bi := b0; bi < b1; bi++ {
+			for i := 0; i < px; i++ {
+				for j := 0; j < py; j++ {
+					od[bi*px*py+i*py+j] = xv(bi, i) * yv(bi, j)
+				}
 			}
 		}
-	}
+	})
 	if c.taping(x, y) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
@@ -100,22 +113,24 @@ func (c *Ctx) OuterFusion(x, y *Var) *Var {
 			if y.NeedGrad {
 				yg = y.EnsureGrad().Data()
 			}
-			for bi := 0; bi < b; bi++ {
-				for i := 0; i < px; i++ {
-					for j := 0; j < py; j++ {
-						gv := g[bi*px*py+i*py+j]
-						if gv == 0 {
-							continue
-						}
-						if xg != nil && i > 0 {
-							xg[bi*dx+i-1] += gv * yv(bi, j)
-						}
-						if yg != nil && j > 0 {
-							yg[bi*dy+j-1] += gv * xv(bi, i)
+			e.ParallelFor(b, rowGrain(px*py), func(b0, b1 int) {
+				for bi := b0; bi < b1; bi++ {
+					for i := 0; i < px; i++ {
+						for j := 0; j < py; j++ {
+							gv := g[bi*px*py+i*py+j]
+							if gv == 0 {
+								continue
+							}
+							if xg != nil && i > 0 {
+								xg[bi*dx+i-1] += gv * yv(bi, j)
+							}
+							if yg != nil && j > 0 {
+								yg[bi*dy+j-1] += gv * xv(bi, i)
+							}
 						}
 					}
 				}
-			}
+			})
 		})
 	}
 	return out

@@ -20,31 +20,36 @@ func (c *Ctx) SplitHeads(x *Var, heads int) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	xd, od := x.Value.Data(), out.Value.Data()
-	for bi := 0; bi < b; bi++ {
-		for ti := 0; ti < t; ti++ {
-			for h := 0; h < heads; h++ {
-				src := xd[(bi*t+ti)*d+h*dh : (bi*t+ti)*d+(h+1)*dh]
-				dst := od[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
-				copy(dst, src)
+	e.ParallelFor(b, rowGrain(t*d), func(b0, b1 int) {
+		for bi := b0; bi < b1; bi++ {
+			for ti := 0; ti < t; ti++ {
+				for h := 0; h < heads; h++ {
+					src := xd[(bi*t+ti)*d+h*dh : (bi*t+ti)*d+(h+1)*dh]
+					dst := od[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
+					copy(dst, src)
+				}
 			}
 		}
-	}
+	})
 	if c.taping(x) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			xg := x.EnsureGrad().Data()
-			for bi := 0; bi < b; bi++ {
-				for ti := 0; ti < t; ti++ {
-					for h := 0; h < heads; h++ {
-						src := g[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
-						dst := xg[(bi*t+ti)*d+h*dh : (bi*t+ti)*d+(h+1)*dh]
-						for i := range src {
-							dst[i] += src[i]
+			e.ParallelFor(b, rowGrain(t*d), func(b0, b1 int) {
+				for bi := b0; bi < b1; bi++ {
+					for ti := 0; ti < t; ti++ {
+						for h := 0; h < heads; h++ {
+							src := g[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
+							dst := xg[(bi*t+ti)*d+h*dh : (bi*t+ti)*d+(h+1)*dh]
+							for i := range src {
+								dst[i] += src[i]
+							}
 						}
 					}
 				}
-			}
+			})
 		})
 	}
 	return out
@@ -64,31 +69,36 @@ func (c *Ctx) MergeHeads(x *Var, heads int) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	xd, od := x.Value.Data(), out.Value.Data()
-	for bi := 0; bi < b; bi++ {
-		for ti := 0; ti < t; ti++ {
-			for h := 0; h < heads; h++ {
-				src := xd[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
-				dst := od[(bi*t+ti)*d+h*dh : (bi*t+ti)*d+(h+1)*dh]
-				copy(dst, src)
+	e.ParallelFor(b, rowGrain(t*d), func(b0, b1 int) {
+		for bi := b0; bi < b1; bi++ {
+			for ti := 0; ti < t; ti++ {
+				for h := 0; h < heads; h++ {
+					src := xd[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
+					dst := od[(bi*t+ti)*d+h*dh : (bi*t+ti)*d+(h+1)*dh]
+					copy(dst, src)
+				}
 			}
 		}
-	}
+	})
 	if c.taping(x) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			xg := x.EnsureGrad().Data()
-			for bi := 0; bi < b; bi++ {
-				for ti := 0; ti < t; ti++ {
-					for h := 0; h < heads; h++ {
-						src := g[(bi*t+ti)*d+h*dh : (bi*t+ti)*d+(h+1)*dh]
-						dst := xg[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
-						for i := range src {
-							dst[i] += src[i]
+			e.ParallelFor(b, rowGrain(t*d), func(b0, b1 int) {
+				for bi := b0; bi < b1; bi++ {
+					for ti := 0; ti < t; ti++ {
+						for h := 0; h < heads; h++ {
+							src := g[(bi*t+ti)*d+h*dh : (bi*t+ti)*d+(h+1)*dh]
+							dst := xg[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
+							for i := range src {
+								dst[i] += src[i]
+							}
 						}
 					}
 				}
-			}
+			})
 		})
 	}
 	return out

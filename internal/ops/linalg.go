@@ -3,57 +3,123 @@ package ops
 import (
 	"fmt"
 
+	"mmbench/internal/engine"
 	"mmbench/internal/kernels"
 )
 
+// The matmul kernels partition work over rows of dst and run the row
+// tiles on the compute engine. Each dst element is produced by exactly
+// one tile with a fixed ascending-l accumulation order, so results are
+// bitwise identical at any worker count (and identical to the previous
+// serial kernels).
+const (
+	// matmulRowTile rows per parallel chunk: enough for the k-blocked
+	// inner kernel to reuse each b row across the tile.
+	matmulRowTile = 8
+	// matmulKBlock bounds the k panel so the tile's dst rows plus the
+	// active b rows stay cache-resident.
+	matmulKBlock = 1024
+	// minParallelFlops is the problem size below which engine dispatch
+	// costs more than it saves (a fixed shape-only threshold, so the
+	// serial/parallel choice never depends on the machine).
+	minParallelFlops = 1 << 15
+)
+
+func serialIfSmall(e *engine.Engine, flops int64) *engine.Engine {
+	if flops < minParallelFlops {
+		return nil
+	}
+	return e
+}
+
 // matmulNN computes dst[m,n] += a[m,k] · b[k,n] over flat row-major slices.
-func matmulNN(dst, a, b []float32, m, k, n int) {
-	for i := 0; i < m; i++ {
-		ar := a[i*k : (i+1)*k]
-		dr := dst[i*n : (i+1)*n]
-		for l, av := range ar {
-			if av == 0 {
-				continue
+func matmulNN(e *engine.Engine, dst, a, b []float32, m, k, n int) {
+	e = serialIfSmall(e, int64(m)*int64(k)*int64(n))
+	e.ParallelFor(m, matmulRowTile, func(i0, i1 int) {
+		for l0 := 0; l0 < k; l0 += matmulKBlock {
+			l1 := l0 + matmulKBlock
+			if l1 > k {
+				l1 = k
 			}
-			br := b[l*n : (l+1)*n]
-			for j, bv := range br {
-				dr[j] += av * bv
+			for i := i0; i < i1; i++ {
+				ar := a[i*k : (i+1)*k]
+				dr := dst[i*n : (i+1)*n]
+				for l := l0; l < l1; l++ {
+					av := ar[l]
+					if av == 0 {
+						continue
+					}
+					br := b[l*n : (l+1)*n]
+					for j, bv := range br {
+						dr[j] += av * bv
+					}
+				}
 			}
 		}
-	}
+	})
 }
 
 // matmulNT computes dst[m,k] += a[m,n] · b[k,n]ᵀ.
-func matmulNT(dst, a, b []float32, m, n, k int) {
-	for i := 0; i < m; i++ {
-		ar := a[i*n : (i+1)*n]
-		dr := dst[i*k : (i+1)*k]
-		for j := 0; j < k; j++ {
-			br := b[j*n : (j+1)*n]
-			var s float32
-			for l := range ar {
-				s += ar[l] * br[l]
+func matmulNT(e *engine.Engine, dst, a, b []float32, m, n, k int) {
+	e = serialIfSmall(e, int64(m)*int64(n)*int64(k))
+	e.ParallelFor(m, matmulRowTile, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			ar := a[i*n : (i+1)*n]
+			dr := dst[i*k : (i+1)*k]
+			j := 0
+			// Four output dots per pass share one streaming read of ar;
+			// each dot keeps its own serial accumulator, so the per-
+			// element sum order matches the naive kernel exactly.
+			for ; j+4 <= k; j += 4 {
+				b0 := b[j*n : (j+1)*n]
+				b1 := b[(j+1)*n : (j+2)*n]
+				b2 := b[(j+2)*n : (j+3)*n]
+				b3 := b[(j+3)*n : (j+4)*n]
+				var s0, s1, s2, s3 float32
+				for l := range ar {
+					al := ar[l]
+					s0 += al * b0[l]
+					s1 += al * b1[l]
+					s2 += al * b2[l]
+					s3 += al * b3[l]
+				}
+				dr[j] += s0
+				dr[j+1] += s1
+				dr[j+2] += s2
+				dr[j+3] += s3
 			}
-			dr[j] += s
+			for ; j < k; j++ {
+				br := b[j*n : (j+1)*n]
+				var s float32
+				for l := range ar {
+					s += ar[l] * br[l]
+				}
+				dr[j] += s
+			}
 		}
-	}
+	})
 }
 
-// matmulTN computes dst[k,n] += a[m,k]ᵀ · b[m,n].
-func matmulTN(dst, a, b []float32, m, k, n int) {
-	for l := 0; l < m; l++ {
-		ar := a[l*k : (l+1)*k]
-		br := b[l*n : (l+1)*n]
-		for i, av := range ar {
-			if av == 0 {
-				continue
-			}
+// matmulTN computes dst[k,n] += a[m,k]ᵀ · b[m,n], partitioned over the k
+// rows of dst; each row accumulates over l ascending, matching the
+// serial kernel's per-element order.
+func matmulTN(e *engine.Engine, dst, a, b []float32, m, k, n int) {
+	e = serialIfSmall(e, int64(m)*int64(k)*int64(n))
+	e.ParallelFor(k, matmulRowTile, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
 			dr := dst[i*n : (i+1)*n]
-			for j, bv := range br {
-				dr[j] += av * bv
+			for l := 0; l < m; l++ {
+				av := a[l*k+i]
+				if av == 0 {
+					continue
+				}
+				br := b[l*n : (l+1)*n]
+				for j, bv := range br {
+					dr[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // MatMul multiplies a[m,k] by b[k,n].
@@ -70,22 +136,26 @@ func (c *Ctx) MatMul(a, b *Var) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
-	matmulNN(out.Value.Data(), a.Value.Data(), b.Value.Data(), m, k, n)
+	e := c.engine()
+	matmulNN(e, out.Value.Data(), a.Value.Data(), b.Value.Data(), m, k, n)
 	if c.taping(a, b) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			if a.NeedGrad {
-				matmulNT(a.EnsureGrad().Data(), g, b.Value.Data(), m, n, k)
+				matmulNT(e, a.EnsureGrad().Data(), g, b.Value.Data(), m, n, k)
 			}
 			if b.NeedGrad {
-				matmulTN(b.EnsureGrad().Data(), a.Value.Data(), g, m, k, n)
+				matmulTN(e, b.EnsureGrad().Data(), a.Value.Data(), g, m, k, n)
 			}
 		})
 	}
 	return out
 }
 
-// MatMulBatched multiplies a[B,m,k] by b[B,k,n] batch-wise.
+// MatMulBatched multiplies a[B,m,k] by b[B,k,n] batch-wise. Batches are
+// independent, so the engine partitions over the batch dimension when it
+// is wide enough and otherwise parallelizes inside each product; both
+// paths compute the same sums in the same order.
 func (c *Ctx) MatMulBatched(a, b *Var) *Var {
 	assertRank(a, 3, "MatMulBatched")
 	assertRank(b, 3, "MatMulBatched")
@@ -99,25 +169,52 @@ func (c *Ctx) MatMulBatched(a, b *Var) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	ad, bd, od := a.Value.Data(), b.Value.Data(), out.Value.Data()
-	for i := 0; i < bs; i++ {
-		matmulNN(od[i*m*n:(i+1)*m*n], ad[i*m*k:(i+1)*m*k], bd[i*k*n:(i+1)*k*n], m, k, n)
-	}
+	batchMatmul(e, bs, func(inner *engine.Engine, i int) {
+		matmulNN(inner, od[i*m*n:(i+1)*m*n], ad[i*m*k:(i+1)*m*k], bd[i*k*n:(i+1)*k*n], m, k, n)
+	})
 	if c.taping(a, b) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
-			for i := 0; i < bs; i++ {
-				gi := g[i*m*n : (i+1)*m*n]
-				if a.NeedGrad {
-					matmulNT(a.EnsureGrad().Data()[i*m*k:(i+1)*m*k], gi, bd[i*k*n:(i+1)*k*n], m, n, k)
-				}
-				if b.NeedGrad {
-					matmulTN(b.EnsureGrad().Data()[i*k*n:(i+1)*k*n], ad[i*m*k:(i+1)*m*k], gi, m, k, n)
-				}
+			var agd, bgd []float32
+			if a.NeedGrad {
+				agd = a.EnsureGrad().Data()
 			}
+			if b.NeedGrad {
+				bgd = b.EnsureGrad().Data()
+			}
+			batchMatmul(e, bs, func(inner *engine.Engine, i int) {
+				gi := g[i*m*n : (i+1)*m*n]
+				if agd != nil {
+					matmulNT(inner, agd[i*m*k:(i+1)*m*k], gi, bd[i*k*n:(i+1)*k*n], m, n, k)
+				}
+				if bgd != nil {
+					matmulTN(inner, bgd[i*k*n:(i+1)*k*n], ad[i*m*k:(i+1)*m*k], gi, m, k, n)
+				}
+			})
 		})
 	}
 	return out
+}
+
+// batchMatmul runs fn(i) for every batch index. Wide batches partition
+// across the engine with serial inner products; narrow batches run the
+// outer loop serially and let each product parallelize internally. The
+// choice depends only on bs, and fn's math is chunk-invariant, so both
+// paths give bitwise-identical results.
+func batchMatmul(e *engine.Engine, bs int, fn func(inner *engine.Engine, i int)) {
+	if bs >= 4 {
+		e.ParallelFor(bs, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				fn(nil, i)
+			}
+		})
+		return
+	}
+	for i := 0; i < bs; i++ {
+		fn(e, i)
+	}
 }
 
 // Linear applies x·W + bias. x may be rank 2 [batch, in] or rank 3
@@ -149,34 +246,41 @@ func (c *Ctx) Linear(x, w, bias *Var) *Var {
 		return out
 	}
 
-	matmulNN(out.Value.Data(), x.Value.Data(), w.Value.Data(), rows, in, outDim)
+	e := c.engine()
+	matmulNN(e, out.Value.Data(), x.Value.Data(), w.Value.Data(), rows, in, outDim)
 	if bias != nil {
 		od := out.Value.Data()
 		bd := bias.Value.Data()
-		for r := 0; r < rows; r++ {
-			row := od[r*outDim : (r+1)*outDim]
-			for j := range row {
-				row[j] += bd[j]
+		e.ParallelFor(rows, rowGrain(outDim), func(r0, r1 int) {
+			for r := r0; r < r1; r++ {
+				row := od[r*outDim : (r+1)*outDim]
+				for j := range row {
+					row[j] += bd[j]
+				}
 			}
-		}
+		})
 	}
 	if c.taping(inputs...) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			if x.NeedGrad {
-				matmulNT(x.EnsureGrad().Data(), g, w.Value.Data(), rows, outDim, in)
+				matmulNT(e, x.EnsureGrad().Data(), g, w.Value.Data(), rows, outDim, in)
 			}
 			if w.NeedGrad {
-				matmulTN(w.EnsureGrad().Data(), x.Value.Data(), g, rows, in, outDim)
+				matmulTN(e, w.EnsureGrad().Data(), x.Value.Data(), g, rows, in, outDim)
 			}
 			if bias != nil && bias.NeedGrad {
+				// Column sum across every row: partition over columns so
+				// each bg[j] accumulates its rows in fixed ascending
+				// order (same pattern as LayerNorm's gamma/beta grads).
 				bg := bias.EnsureGrad().Data()
-				for r := 0; r < rows; r++ {
-					row := g[r*outDim : (r+1)*outDim]
-					for j := range row {
-						bg[j] += row[j]
+				e.ParallelFor(outDim, rowGrain(rows), func(j0, j1 int) {
+					for j := j0; j < j1; j++ {
+						for r := 0; r < rows; r++ {
+							bg[j] += g[r*outDim+j]
+						}
 					}
-				}
+				})
 			}
 		})
 	}

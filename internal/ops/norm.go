@@ -8,7 +8,10 @@ import (
 )
 
 // LayerNorm normalizes over the last dimension and applies the affine
-// transform gamma, beta (both shaped [lastDim]).
+// transform gamma, beta (both shaped [lastDim]). Rows are independent,
+// so forward and the x-gradient partition over rows; the gamma/beta
+// gradients are column sums and partition over the feature dimension,
+// keeping every accumulation order fixed regardless of worker count.
 func (c *Ctx) LayerNorm(x, gamma, beta *Var, eps float32) *Var {
 	xs := x.Value.Shape()
 	d := xs[len(xs)-1]
@@ -22,67 +25,89 @@ func (c *Ctx) LayerNorm(x, gamma, beta *Var, eps float32) *Var {
 		return out
 	}
 
+	e := c.engine()
+	taping := c.taping(x, gamma, beta)
 	xd, od := x.Value.Data(), out.Value.Data()
 	gd, bd := gamma.Value.Data(), beta.Value.Data()
-	xhat := make([]float32, rows*d)
-	invStd := make([]float32, rows)
-	for r := 0; r < rows; r++ {
-		row := xd[r*d : (r+1)*d]
-		var mean float64
-		for _, v := range row {
-			mean += float64(v)
-		}
-		mean /= float64(d)
-		var varSum float64
-		for _, v := range row {
-			dv := float64(v) - mean
-			varSum += dv * dv
-		}
-		is := float32(1 / math.Sqrt(varSum/float64(d)+float64(eps)))
-		invStd[r] = is
-		for j, v := range row {
-			xh := (v - float32(mean)) * is
-			xhat[r*d+j] = xh
-			od[r*d+j] = xh*gd[j] + bd[j]
-		}
+	// The normalized activations and inverse stddevs are only needed by
+	// the backward pass; inference skips both buffers entirely.
+	var xhat, invStd []float32
+	if taping {
+		xhat = make([]float32, rows*d)
+		invStd = make([]float32, rows)
 	}
+	e.ParallelFor(rows, rowGrain(d), func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			row := xd[r*d : (r+1)*d]
+			var mean float64
+			for _, v := range row {
+				mean += float64(v)
+			}
+			mean /= float64(d)
+			var varSum float64
+			for _, v := range row {
+				dv := float64(v) - mean
+				varSum += dv * dv
+			}
+			is := float32(1 / math.Sqrt(varSum/float64(d)+float64(eps)))
+			for j, v := range row {
+				xh := (v - float32(mean)) * is
+				od[r*d+j] = xh*gd[j] + bd[j]
+				if taping {
+					xhat[r*d+j] = xh
+				}
+			}
+			if taping {
+				invStd[r] = is
+			}
+		}
+	})
 
-	if c.taping(x, gamma, beta) {
+	if taping {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
-			var xg, gg, bg []float32
 			if x.NeedGrad {
-				xg = x.EnsureGrad().Data()
+				xg := x.EnsureGrad().Data()
+				e.ParallelFor(rows, rowGrain(d), func(r0, r1 int) {
+					for r := r0; r < r1; r++ {
+						// Means of gamma·g and gamma·g·xhat over the row.
+						var m1, m2 float64
+						for j := 0; j < d; j++ {
+							gj := float64(g[r*d+j]) * float64(gd[j])
+							m1 += gj
+							m2 += gj * float64(xhat[r*d+j])
+						}
+						m1 /= float64(d)
+						m2 /= float64(d)
+						for j := 0; j < d; j++ {
+							idx := r*d + j
+							gj := float64(g[idx]) * float64(gd[j])
+							xg[idx] += float32((gj - m1 - float64(xhat[idx])*m2)) * invStd[r]
+						}
+					}
+				})
 			}
-			if gamma.NeedGrad {
-				gg = gamma.EnsureGrad().Data()
-			}
-			if beta.NeedGrad {
-				bg = beta.EnsureGrad().Data()
-			}
-			for r := 0; r < rows; r++ {
-				// Means of gamma·g and gamma·g·xhat over the row.
-				var m1, m2 float64
-				for j := 0; j < d; j++ {
-					gj := float64(g[r*d+j]) * float64(gd[j])
-					m1 += gj
-					m2 += gj * float64(xhat[r*d+j])
+			if gamma.NeedGrad || beta.NeedGrad {
+				var gg, bg []float32
+				if gamma.NeedGrad {
+					gg = gamma.EnsureGrad().Data()
 				}
-				m1 /= float64(d)
-				m2 /= float64(d)
-				for j := 0; j < d; j++ {
-					idx := r*d + j
-					if gg != nil {
-						gg[j] += g[idx] * xhat[idx]
-					}
-					if bg != nil {
-						bg[j] += g[idx]
-					}
-					if xg != nil {
-						gj := float64(g[idx]) * float64(gd[j])
-						xg[idx] += float32((gj - m1 - float64(xhat[idx])*m2)) * invStd[r]
-					}
+				if beta.NeedGrad {
+					bg = beta.EnsureGrad().Data()
 				}
+				e.ParallelFor(d, rowGrain(rows), func(j0, j1 int) {
+					for j := j0; j < j1; j++ {
+						for r := 0; r < rows; r++ {
+							idx := r*d + j
+							if gg != nil {
+								gg[j] += g[idx] * xhat[idx]
+							}
+							if bg != nil {
+								bg[j] += g[idx]
+							}
+						}
+					}
+				})
 			}
 		})
 	}
@@ -90,7 +115,8 @@ func (c *Ctx) LayerNorm(x, gamma, beta *Var, eps float32) *Var {
 }
 
 // BatchNorm2D normalizes [N,C,H,W] per channel using batch statistics and
-// applies the affine transform gamma, beta (both [C]).
+// applies the affine transform gamma, beta (both [C]). Channels are
+// independent, so the engine partitions over C.
 //
 // BatchNorm2D supports forward and analytic execution only; MMBench's
 // trainable workload variants use normalization-free encoders or LayerNorm,
@@ -111,34 +137,37 @@ func (c *Ctx) BatchNorm2D(x, gamma, beta *Var, eps float32) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	plane := h * w
 	xd, od := x.Value.Data(), out.Value.Data()
 	gd, bd := gamma.Value.Data(), beta.Value.Data()
-	for ci := 0; ci < ch; ci++ {
-		var mean float64
-		for ni := 0; ni < n; ni++ {
-			base := (ni*ch + ci) * plane
-			for i := 0; i < plane; i++ {
-				mean += float64(xd[base+i])
+	e.ParallelFor(ch, rowGrain(n*plane), func(c0, c1 int) {
+		for ci := c0; ci < c1; ci++ {
+			var mean float64
+			for ni := 0; ni < n; ni++ {
+				base := (ni*ch + ci) * plane
+				for i := 0; i < plane; i++ {
+					mean += float64(xd[base+i])
+				}
+			}
+			count := float64(n * plane)
+			mean /= count
+			var varSum float64
+			for ni := 0; ni < n; ni++ {
+				base := (ni*ch + ci) * plane
+				for i := 0; i < plane; i++ {
+					dv := float64(xd[base+i]) - mean
+					varSum += dv * dv
+				}
+			}
+			invStd := float32(1 / math.Sqrt(varSum/count+float64(eps)))
+			for ni := 0; ni < n; ni++ {
+				base := (ni*ch + ci) * plane
+				for i := 0; i < plane; i++ {
+					od[base+i] = (xd[base+i]-float32(mean))*invStd*gd[ci] + bd[ci]
+				}
 			}
 		}
-		count := float64(n * plane)
-		mean /= count
-		var varSum float64
-		for ni := 0; ni < n; ni++ {
-			base := (ni*ch + ci) * plane
-			for i := 0; i < plane; i++ {
-				dv := float64(xd[base+i]) - mean
-				varSum += dv * dv
-			}
-		}
-		invStd := float32(1 / math.Sqrt(varSum/count+float64(eps)))
-		for ni := 0; ni < n; ni++ {
-			base := (ni*ch + ci) * plane
-			for i := 0; i < plane; i++ {
-				od[base+i] = (xd[base+i]-float32(mean))*invStd*gd[ci] + bd[ci]
-			}
-		}
-	}
+	})
 	return out
 }

@@ -35,30 +35,35 @@ func (c *Ctx) MeanAxis1(x *Var) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	xd, od := x.Value.Data(), out.Value.Data()
 	inv := 1 / float32(t)
-	for bi := 0; bi < b; bi++ {
-		for ti := 0; ti < t; ti++ {
-			row := xd[(bi*t+ti)*d : (bi*t+ti+1)*d]
-			orow := od[bi*d : (bi+1)*d]
-			for j := range row {
-				orow[j] += row[j] * inv
+	e.ParallelFor(b, rowGrain(t*d), func(b0, b1 int) {
+		for bi := b0; bi < b1; bi++ {
+			for ti := 0; ti < t; ti++ {
+				row := xd[(bi*t+ti)*d : (bi*t+ti+1)*d]
+				orow := od[bi*d : (bi+1)*d]
+				for j := range row {
+					orow[j] += row[j] * inv
+				}
 			}
 		}
-	}
+	})
 	if c.taping(x) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			xg := x.EnsureGrad().Data()
-			for bi := 0; bi < b; bi++ {
-				grow := g[bi*d : (bi+1)*d]
-				for ti := 0; ti < t; ti++ {
-					xrow := xg[(bi*t+ti)*d : (bi*t+ti+1)*d]
-					for j := range grow {
-						xrow[j] += grow[j] * inv
+			e.ParallelFor(b, rowGrain(t*d), func(b0, b1 int) {
+				for bi := b0; bi < b1; bi++ {
+					grow := g[bi*d : (bi+1)*d]
+					for ti := 0; ti < t; ti++ {
+						xrow := xg[(bi*t+ti)*d : (bi*t+ti+1)*d]
+						for j := range grow {
+							xrow[j] += grow[j] * inv
+						}
 					}
 				}
-			}
+			})
 		})
 	}
 	return out

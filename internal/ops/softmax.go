@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"mmbench/internal/engine"
 	"mmbench/internal/kernels"
 	"mmbench/internal/tensor"
 )
@@ -18,48 +19,55 @@ func (c *Ctx) Softmax(x *Var) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
 	xd, od := x.Value.Data(), out.Value.Data()
-	softmaxRows(xd, od, rows, d)
+	softmaxRows(e, xd, od, rows, d)
 	if c.taping(x) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			xg := x.EnsureGrad().Data()
-			for r := 0; r < rows; r++ {
-				var dot float64
-				for j := 0; j < d; j++ {
-					dot += float64(g[r*d+j]) * float64(od[r*d+j])
+			e.ParallelFor(rows, rowGrain(d), func(r0, r1 int) {
+				for r := r0; r < r1; r++ {
+					var dot float64
+					for j := 0; j < d; j++ {
+						dot += float64(g[r*d+j]) * float64(od[r*d+j])
+					}
+					for j := 0; j < d; j++ {
+						idx := r*d + j
+						xg[idx] += od[idx] * (g[idx] - float32(dot))
+					}
 				}
-				for j := 0; j < d; j++ {
-					idx := r*d + j
-					xg[idx] += od[idx] * (g[idx] - float32(dot))
-				}
-			}
+			})
 		})
 	}
 	return out
 }
 
-func softmaxRows(x, out []float32, rows, d int) {
-	for r := 0; r < rows; r++ {
-		row := x[r*d : (r+1)*d]
-		max := row[0]
-		for _, v := range row {
-			if v > max {
-				max = v
+// softmaxRows computes a row-wise softmax; rows are independent, so the
+// engine partitions over them with per-row math unchanged.
+func softmaxRows(e *engine.Engine, x, out []float32, rows, d int) {
+	e.ParallelFor(rows, rowGrain(d), func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			row := x[r*d : (r+1)*d]
+			max := row[0]
+			for _, v := range row {
+				if v > max {
+					max = v
+				}
+			}
+			var sum float64
+			o := out[r*d : (r+1)*d]
+			for j, v := range row {
+				e := math.Exp(float64(v - max))
+				o[j] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for j := range o {
+				o[j] *= inv
 			}
 		}
-		var sum float64
-		o := out[r*d : (r+1)*d]
-		for j, v := range row {
-			e := math.Exp(float64(v - max))
-			o[j] = float32(e)
-			sum += e
-		}
-		inv := float32(1 / sum)
-		for j := range o {
-			o[j] *= inv
-		}
-	}
+	})
 }
 
 // CrossEntropy computes mean softmax cross-entropy between logits [B,K] and
@@ -76,8 +84,17 @@ func (c *Ctx) CrossEntropy(logits *Var, labels []int) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
-	probs := make([]float32, b*k)
-	softmaxRows(logits.Value.Data(), probs, b, k)
+	e := c.engine()
+	taping := c.taping(logits)
+	// The backward closure captures probs; only inference-mode scratch
+	// can return to the pool.
+	var probs []float32
+	if taping {
+		probs = make([]float32, b*k)
+	} else {
+		probs = e.GetUninit(b * k) // softmaxRows writes every entry
+	}
+	softmaxRows(e, logits.Value.Data(), probs, b, k)
 	var loss float64
 	for i, lab := range labels {
 		if lab < 0 || lab >= k {
@@ -86,21 +103,25 @@ func (c *Ctx) CrossEntropy(logits *Var, labels []int) *Var {
 		loss -= math.Log(math.Max(float64(probs[i*k+lab]), 1e-12))
 	}
 	out.Value.Set(float32(loss/float64(b)), 0)
-	if c.taping(logits) {
+	if taping {
 		c.tapeStep(out, func() {
 			g := out.Grad.At(0)
 			lg := logits.EnsureGrad().Data()
 			scale := g / float32(b)
-			for i := 0; i < b; i++ {
-				for j := 0; j < k; j++ {
-					delta := probs[i*k+j]
-					if j == labels[i] {
-						delta -= 1
+			e.ParallelFor(b, rowGrain(k), func(i0, i1 int) {
+				for i := i0; i < i1; i++ {
+					for j := 0; j < k; j++ {
+						delta := probs[i*k+j]
+						if j == labels[i] {
+							delta -= 1
+						}
+						lg[i*k+j] += scale * delta
 					}
-					lg[i*k+j] += scale * delta
 				}
-			}
+			})
 		})
+	} else {
+		e.Put(probs)
 	}
 	return out
 }
@@ -118,25 +139,42 @@ func (c *Ctx) BCEWithLogits(logits *Var, targets *tensor.Tensor) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	e := c.engine()
+	taping := c.taping(logits)
 	xd, td := logits.Value.Data(), targets.Data()
+	var sig []float32
+	if taping {
+		sig = make([]float32, n)
+	} else {
+		sig = e.GetUninit(n) // fully overwritten below
+	}
+	// Sigmoids are element-independent; the loss reduction stays on the
+	// coordinating goroutine for a fixed summation order.
+	e.ParallelFor(n, elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sig[i] = float32(1 / (1 + math.Exp(-float64(xd[i]))))
+		}
+	})
 	var loss float64
-	sig := make([]float32, n)
 	for i := range xd {
-		s := 1 / (1 + math.Exp(-float64(xd[i])))
-		sig[i] = float32(s)
+		s := float64(sig[i])
 		t := float64(td[i])
 		loss -= t*math.Log(math.Max(s, 1e-12)) + (1-t)*math.Log(math.Max(1-s, 1e-12))
 	}
 	out.Value.Set(float32(loss/float64(n)), 0)
-	if c.taping(logits) {
+	if taping {
 		c.tapeStep(out, func() {
 			g := out.Grad.At(0)
 			lg := logits.EnsureGrad().Data()
 			scale := g / float32(n)
-			for i := range lg {
-				lg[i] += scale * (sig[i] - td[i])
-			}
+			e.ParallelFor(n, elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					lg[i] += scale * (sig[i] - td[i])
+				}
+			})
 		})
+	} else {
+		e.Put(sig)
 	}
 	return out
 }
@@ -162,13 +200,16 @@ func (c *Ctx) MSE(pred *Var, target *tensor.Tensor) *Var {
 	}
 	out.Value.Set(float32(loss/float64(n)), 0)
 	if c.taping(pred) {
+		e := c.engine()
 		c.tapeStep(out, func() {
 			g := out.Grad.At(0)
 			pg := pred.EnsureGrad().Data()
 			scale := 2 * g / float32(n)
-			for i := range pg {
-				pg[i] += scale * (pd[i] - td[i])
-			}
+			e.ParallelFor(n, elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					pg[i] += scale * (pd[i] - td[i])
+				}
+			})
 		})
 	}
 	return out
@@ -188,12 +229,23 @@ func (c *Ctx) DiceLoss(logits *Var, mask *tensor.Tensor) *Var {
 		return out
 	}
 	const eps = 1e-6
+	e := c.engine()
+	taping := c.taping(logits)
 	xd, md := logits.Value.Data(), mask.Data()
-	sig := make([]float32, n)
+	var sig []float32
+	if taping {
+		sig = make([]float32, n)
+	} else {
+		sig = e.GetUninit(n) // fully overwritten below
+	}
+	e.ParallelFor(n, elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sig[i] = float32(1 / (1 + math.Exp(-float64(xd[i]))))
+		}
+	})
 	var inter, sumP, sumT float64
 	for i := range xd {
-		s := 1 / (1 + math.Exp(-float64(xd[i])))
-		sig[i] = float32(s)
+		s := float64(sig[i])
 		inter += s * float64(md[i])
 		sumP += s
 		sumT += float64(md[i])
@@ -201,17 +253,21 @@ func (c *Ctx) DiceLoss(logits *Var, mask *tensor.Tensor) *Var {
 	denom := sumP + sumT + eps
 	dice := (2*inter + eps) / denom
 	out.Value.Set(float32(1-dice), 0)
-	if c.taping(logits) {
+	if taping {
 		c.tapeStep(out, func() {
 			g := out.Grad.At(0)
 			lg := logits.EnsureGrad().Data()
-			for i := range lg {
-				// d(1-dice)/dp_i, then chain through sigmoid.
-				dDice := (2*float64(md[i])*denom - (2*inter + eps)) / (denom * denom)
-				dSig := float64(sig[i]) * (1 - float64(sig[i]))
-				lg[i] += g * float32(-dDice*dSig)
-			}
+			e.ParallelFor(n, elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					// d(1-dice)/dp_i, then chain through sigmoid.
+					dDice := (2*float64(md[i])*denom - (2*inter + eps)) / (denom * denom)
+					dSig := float64(sig[i]) * (1 - float64(sig[i]))
+					lg[i] += g * float32(-dDice*dSig)
+				}
+			})
 		})
+	} else {
+		e.Put(sig)
 	}
 	return out
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mmbench"
+	"mmbench/internal/engine"
 	"mmbench/internal/jobs"
 	"mmbench/internal/resultcache"
 )
@@ -289,6 +290,7 @@ type Stats struct {
 	Latency       LatencyStats   `json:"service_latency_ms"`
 	Cache         CacheStats     `json:"cache"`
 	Jobs          map[string]int `json:"jobs"`
+	Engine        EngineStats    `json:"engine"`
 }
 
 // LatencyStats are percentiles over the recent /v1/run window.
@@ -305,6 +307,15 @@ type CacheStats struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// EngineStats extends the compute-engine counters (eager-kernel tasks
+// executed, buffer-pool traffic) with the derived pool hit rate. Jobs
+// and compute share one parallelism budget — see cmd/mmbench serve's
+// -compute-workers flag.
+type EngineStats struct {
+	engine.Stats
+	PoolHitRate float64 `json:"pool_hit_rate"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.countRequest()
 	uptime := time.Since(s.start).Seconds()
@@ -313,6 +324,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	p50, p95, p99, n := s.percentiles()
 	cs := s.runner.Stats()
+	es := engine.Default().Stats()
 	counts := s.pool.Counts()
 	writeJSON(w, http.StatusOK, Stats{
 		UptimeSeconds: uptime,
@@ -324,7 +336,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			P95:     p95 * 1e3,
 			P99:     p99 * 1e3,
 		},
-		Cache: CacheStats{Stats: cs, HitRate: cs.HitRate()},
+		Cache:  CacheStats{Stats: cs, HitRate: cs.HitRate()},
+		Engine: EngineStats{Stats: es, PoolHitRate: es.HitRate()},
 		Jobs: map[string]int{
 			"queued":  counts.Queued,
 			"running": counts.Running,

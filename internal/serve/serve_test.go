@@ -297,3 +297,43 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Fatalf("status %d, want 405", resp.StatusCode)
 	}
 }
+
+func TestStatsReportsEngine(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// An eager run drives real kernels through the compute engine; the
+	// engine block must reflect that activity afterwards.
+	resp := postJSON(t, ts.URL+"/v1/run",
+		`{"workload":"avmnist","batch":4,"paper_scale":false,"eager":true}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eager run status %d", resp.StatusCode)
+	}
+
+	var stats Stats
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Engine.Workers < 1 {
+		t.Fatalf("engine workers %d", stats.Engine.Workers)
+	}
+	if stats.Engine.Tasks <= 0 || stats.Engine.Calls <= 0 {
+		t.Fatalf("engine executed no tasks after an eager run: %+v", stats.Engine)
+	}
+	if stats.Engine.PoolHits+stats.Engine.PoolMisses <= 0 {
+		t.Fatalf("buffer pool saw no traffic after an eager conv run: %+v", stats.Engine)
+	}
+	if hr := stats.Engine.PoolHitRate; hr < 0 || hr > 1 {
+		t.Fatalf("pool hit rate %f out of range", hr)
+	}
+
+	// The JSON wire format must expose the documented field names.
+	var raw map[string]any
+	getJSON(t, ts.URL+"/v1/stats", &raw)
+	eng, ok := raw["engine"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats JSON missing engine block: %v", raw)
+	}
+	for _, field := range []string{"workers", "tasks_executed", "pool_hits", "bytes_reused", "pool_hit_rate"} {
+		if _, ok := eng[field]; !ok {
+			t.Fatalf("engine stats JSON missing %q: %v", field, eng)
+		}
+	}
+}

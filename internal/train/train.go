@@ -8,6 +8,7 @@ import (
 
 	"mmbench/internal/autograd"
 	"mmbench/internal/data"
+	"mmbench/internal/engine"
 	"mmbench/internal/mmnet"
 	"mmbench/internal/ops"
 	"mmbench/internal/tensor"
@@ -101,6 +102,10 @@ type Config struct {
 	BatchSize     int
 	LR            float32
 	Seed          int64
+	// Engine runs the forward and backward kernels; nil uses the
+	// process default. Training results are identical at any worker
+	// count (dropout masks are drawn on the coordinating goroutine).
+	Engine *engine.Engine
 }
 
 // DefaultConfig returns a quick-converging configuration for the planted
@@ -143,7 +148,7 @@ func Fit(n *mmnet.Network, cfg Config) Result {
 		for s := 0; s < cfg.StepsPerEpoch; s++ {
 			b := n.Gen.Batch(rng.Split(int64(e*1000+s)), cfg.BatchSize)
 			tape := autograd.NewTape()
-			c := &ops.Ctx{Tape: tape, Training: true, RNG: rng}
+			c := &ops.Ctx{Tape: tape, Training: true, RNG: rng, Eng: cfg.Engine}
 			out := n.Forward(c, b)
 			loss := n.Loss(c, out, b)
 			tape.Backward(loss)
@@ -151,17 +156,23 @@ func Fit(n *mmnet.Network, cfg Config) Result {
 			lastLoss = float64(loss.Value.At(0))
 		}
 	}
-	eval := Evaluate(n, tensor.NewRNG(cfg.Seed+7777), 8, cfg.BatchSize)
+	eval := EvaluateWith(n, cfg.Engine, tensor.NewRNG(cfg.Seed+7777), 8, cfg.BatchSize)
 	eval.FinalLoss = lastLoss
 	return eval
 }
 
-// Evaluate measures the task metric over nBatches fresh batches.
+// Evaluate measures the task metric over nBatches fresh batches on the
+// default compute engine.
 func Evaluate(n *mmnet.Network, rng *tensor.RNG, nBatches, batchSize int) Result {
+	return EvaluateWith(n, nil, rng, nBatches, batchSize)
+}
+
+// EvaluateWith is Evaluate on an explicit compute engine (nil = default).
+func EvaluateWith(n *mmnet.Network, eng *engine.Engine, rng *tensor.RNG, nBatches, batchSize int) Result {
 	var metric float64
 	for i := 0; i < nBatches; i++ {
 		b := n.Gen.Batch(rng.Split(int64(i)), batchSize)
-		out := n.Forward(ops.Infer(), b)
+		out := n.Forward(&ops.Ctx{Eng: eng}, b)
 		metric += BatchMetric(n.Task, out, b)
 	}
 	return Result{Metric: metric / float64(nBatches)}

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# bench_ops.sh — regenerate BENCH_ops.json, the operator-level perf
+# baseline future PRs compare against.
+#
+# Usage: scripts/bench_ops.sh [output-file]
+#
+# Runs the kernel benchmarks of internal/ops and internal/engine with
+# -benchmem and converts `go test` output into a stable JSON document.
+# Benchmark wall times are machine-dependent; the baseline is meant for
+# relative comparisons on one machine (e.g. CI runners of the same
+# class), not absolute thresholds.
+set -eu
+
+out="${1:-BENCH_ops.json}"
+cd "$(dirname "$0")/.."
+
+raw="$(go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1s}" \
+	./internal/ops ./internal/engine)"
+
+{
+	printf '{\n'
+	printf '  "generated_by": "scripts/bench_ops.sh",\n'
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+	printf '  "cpu": "%s",\n' "$(printf '%s\n' "$raw" | awk -F': ' '/^cpu:/{print $2; exit}')"
+	printf '  "benchmarks": [\n'
+	printf '%s\n' "$raw" | awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $2, $3, $5, $7)
+			if (n++) printf(",\n")
+			printf("%s", line)
+		}
+		END { printf("\n") }
+	'
+	printf '  ]\n'
+	printf '}\n'
+} > "$out"
+
+echo "wrote $out"
