@@ -22,6 +22,7 @@ import (
 
 	"mmbench"
 	"mmbench/internal/engine"
+	"mmbench/internal/ops"
 	"mmbench/internal/report"
 )
 
@@ -96,6 +97,13 @@ func computeWorkersFlag(fs *flag.FlagSet) *int {
 		"compute-engine workers for eager kernels (0 = auto: GOMAXPROCS split across job workers)")
 }
 
+// unfusedAttentionFlag registers the -unfused-attention flag shared by
+// every command that executes attention layers.
+func unfusedAttentionFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("unfused-attention", false,
+		"use the unfused reference attention composition instead of the fused streaming-softmax kernel (slower, materializes the score matrix)")
+}
+
 // configureCompute sets the default compute engine's worker count.
 // When the flag is 0 the budget is GOMAXPROCS divided by the command's
 // job-level workers, so scheduler parallelism × kernel parallelism
@@ -113,6 +121,12 @@ func configureCompute(computeWorkers, jobWorkers int) {
 	engine.SetDefaultWorkers(computeWorkers)
 }
 
+// configureAttention sets the process-wide attention-path default from
+// the -unfused-attention flag.
+func configureAttention(unfused bool) {
+	ops.SetDefaultUnfusedAttention(unfused)
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	workload := fs.String("workload", "avmnist", "workload name (see list)")
@@ -123,10 +137,12 @@ func cmdRun(args []string) error {
 	eager := fs.Bool("eager", false, "execute real numerics instead of the analytic abstraction")
 	format := fs.String("format", "text", "output format: text, csv or json")
 	computeWorkers := computeWorkersFlag(fs)
+	unfusedAttn := unfusedAttentionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	configureCompute(*computeWorkers, 1)
+	configureAttention(*unfusedAttn)
 	rep, err := mmbench.Run(mmbench.RunConfig{
 		Workload:   *workload,
 		Variant:    *variant,
@@ -178,10 +194,12 @@ func cmdTrain(args []string) error {
 	lr := fs.Float64("lr", 0, "learning rate (0 = suite default)")
 	seed := fs.Int64("seed", 1, "data seed")
 	computeWorkers := computeWorkersFlag(fs)
+	unfusedAttn := unfusedAttentionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	configureCompute(*computeWorkers, 1)
+	configureAttention(*unfusedAttn)
 	res, err := mmbench.Train(mmbench.TrainConfig{
 		Workload: *workload,
 		Variant:  *variant,

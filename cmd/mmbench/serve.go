@@ -22,9 +22,11 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "scheduler worker count")
 	cacheMB := fs.Int("cache-mb", 64, "result cache budget in MiB")
 	computeWorkers := computeWorkersFlag(fs)
+	unfusedAttn := unfusedAttentionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	configureAttention(*unfusedAttn)
 	// Job workers and kernel workers share one CPU budget: with W
 	// scheduler workers the auto setting gives each eager run
 	// GOMAXPROCS/W compute workers.

@@ -29,10 +29,12 @@ func cmdSweep(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel profiling workers (1 = sequential)")
 	format := fs.String("format", "text", "output format: text, csv or json")
 	computeWorkers := computeWorkersFlag(fs)
+	unfusedAttn := unfusedAttentionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	configureCompute(*computeWorkers, *workers)
+	configureAttention(*unfusedAttn)
 
 	batchList, err := parseInts(*batches)
 	if err != nil {

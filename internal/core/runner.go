@@ -32,6 +32,10 @@ type RunOptions struct {
 	// (worker count from -compute-workers). Results are identical at any
 	// worker count, so the engine never participates in cache keys.
 	Engine *engine.Engine
+	// UnfusedAttention forces the unfused reference attention
+	// composition instead of the fused streaming-softmax kernel
+	// (default: the process-wide -unfused-attention setting).
+	UnfusedAttention bool
 }
 
 func (o *RunOptions) defaults() {
@@ -103,7 +107,7 @@ func Run(n *mmnet.Network, opts RunOptions) (*RunResult, error) {
 		batch = n.Gen.AbstractBatch(opts.BatchSize)
 	}
 
-	c := &ops.Ctx{Rec: builder, Eng: opts.Engine}
+	c := &ops.Ctx{Rec: builder, Eng: opts.Engine, UnfusedAttention: opts.UnfusedAttention}
 	out := n.Forward(c, batch)
 
 	// Results return to the host.

@@ -238,6 +238,34 @@ func SoftmaxSpec(name string, rows, cols int) Spec {
 	}
 }
 
+// AttentionSpec describes a fused scaled-dot-product attention kernel
+// over bh (batch·head) problems: scores = scale·Q·Kᵀ, a streaming
+// softmax over key tiles, and the softmax·V product, all in one launch.
+// The [bh,tq,tk] score matrix lives in on-chip tiles and never reaches
+// DRAM, so the spec's traffic is just the Q/K/V reads and the output
+// write — the fusion's whole point versus the unfused composition.
+// qTile×kTile is the kernel's score-tile shape (the caller passes its
+// actual tile constants so the cache model tracks retuning).
+func AttentionSpec(name string, bh, tq, tk, dh, qTile, kTile int) Spec {
+	b, q, kk, d := int64(bh), int64(tq), int64(tk), int64(dh)
+	qt, kt := int64(qTile), int64(kTile)
+	scores := b * q * kk
+	return Spec{
+		Name:  name,
+		Class: Gemm,
+		// Two GEMMs (QKᵀ and softmax·V) plus the streaming softmax's
+		// max/exp/sum/rescale passes over every score.
+		FLOPs:        4*scores*d + 7*scores,
+		BytesRead:    b * (q + 2*kk) * d * f32,
+		BytesWritten: b * q * d * f32,
+		Threads:      b * q * d,
+		// One query tile's operands: Q rows, K and V tiles, score tile
+		// and the output accumulator.
+		WorkingSet: (qt*d + 2*kt*d + qt*kt + qt*d) * f32,
+		Coalesced:  0.9,
+	}
+}
+
 // EmbeddingSpec describes an embedding gather of n tokens with dim-wide rows.
 func EmbeddingSpec(name string, nTokens, dim int) Spec {
 	n := int64(nTokens) * int64(dim)

@@ -32,15 +32,27 @@ func NewMultiHeadAttention(g *tensor.RNG, dim, heads int) *MultiHeadAttention {
 }
 
 // Attend computes attention of query sequence q [B,Tq,D] over key/value
-// sequence kv [B,Tk,D].
+// sequence kv [B,Tk,D]. The default path is the fused streaming-softmax
+// kernel (ops.Attention), which never materializes the [B·H,Tq,Tk]
+// score matrix; the unfused composition below is kept as the reference
+// implementation behind the Ctx.UnfusedAttention / -unfused-attention
+// toggle. The two agree within 1e-5.
 func (m *MultiHeadAttention) Attend(c *ops.Ctx, q, kv *ops.Var) *ops.Var {
 	dh := m.Dim / m.Heads
-	qh := c.SplitHeads(m.WQ.Forward(c, q), m.Heads)  // [B·H, Tq, dh]
-	kh := c.SplitHeads(m.WK.Forward(c, kv), m.Heads) // [B·H, Tk, dh]
-	vh := c.SplitHeads(m.WV.Forward(c, kv), m.Heads)
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	qp := m.WQ.Forward(c, q)  // [B, Tq, D]
+	kp := m.WK.Forward(c, kv) // [B, Tk, D]
+	vp := m.WV.Forward(c, kv)
+	if c.FusedAttention() {
+		return m.WO.Forward(c, c.Attention(qp, kp, vp, m.Heads, scale))
+	}
+	qh := c.SplitHeads(qp, m.Heads) // [B·H, Tq, dh]
+	kh := c.SplitHeads(kp, m.Heads) // [B·H, Tk, dh]
+	vh := c.SplitHeads(vp, m.Heads)
 
-	scores := c.MatMulBatched(qh, c.TransposeLast2(kh)) // [B·H, Tq, Tk]
-	scores = c.Scale(scores, float32(1/math.Sqrt(float64(dh))))
+	// Transpose-free NT product with 1/√dh folded in, so the reference
+	// path no longer pays the Kᵀ copy or a full extra Scale tensor.
+	scores := c.MatMulBatchedNT(qh, kh, scale) // [B·H, Tq, Tk]
 	attn := c.Softmax(scores)
 	ctxv := c.MatMulBatched(attn, vh) // [B·H, Tq, dh]
 	merged := c.MergeHeads(ctxv, m.Heads)

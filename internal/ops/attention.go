@@ -1,0 +1,449 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"mmbench/internal/engine"
+	"mmbench/internal/kernels"
+)
+
+// Fused scaled-dot-product attention.
+//
+// The unfused composition (SplitHeads ×3 → TransposeLast2 → MatMul →
+// Scale → Softmax → MatMul → MergeHeads) materializes the full
+// [B·H,Tq,Tk] score matrix plus seven more intermediates — the worst
+// memory-traffic offender in the transformer encoders that dominate
+// MMBench's multi-modal pipelines. Ctx.Attention computes the same
+// function in one pass per (batch·head, query-tile): a transpose-free NT
+// score tile, a streaming softmax over key tiles, and the softmax·V
+// product accumulated tile by tile. Scores only ever exist as a pooled
+// attnQTile×attnKTile tile; heads are addressed by stride directly in
+// the [B,T,D] projections, so the split/merge copies disappear too.
+//
+// Determinism: work is partitioned with shape-only chunking (one unit
+// per (batch·head, query-tile) forward, per batch·head backward); every
+// output element is produced by exactly one unit with a fixed tile and
+// accumulation order, so results are bitwise identical at any worker
+// count.
+const (
+	// attnQTile is the number of query rows a streaming-softmax unit
+	// owns; the per-row max/denominator state lives on its stack.
+	attnQTile = 32
+	// attnKTile is the key-tile width: scores materialize only as an
+	// attnQTile×attnKTile pooled tile.
+	attnKTile = 64
+)
+
+// unfusedAttentionDefault is the process-wide attention-path toggle,
+// set from the -unfused-attention CLI flag (mirrors
+// engine.SetDefaultWorkers). False — the fused kernel — is the default.
+var unfusedAttentionDefault atomic.Bool
+
+// SetDefaultUnfusedAttention switches the process default between the
+// fused attention kernel (false) and the unfused reference composition
+// (true). Meant for process start-up (CLI flag parsing).
+func SetDefaultUnfusedAttention(on bool) { unfusedAttentionDefault.Store(on) }
+
+// DefaultUnfusedAttention reports the process-wide toggle.
+func DefaultUnfusedAttention() bool { return unfusedAttentionDefault.Load() }
+
+// FusedAttention reports whether this context should take the fused
+// attention path: neither the context override nor the process default
+// asks for the unfused reference.
+func (c *Ctx) FusedAttention() bool {
+	return !c.UnfusedAttention && !unfusedAttentionDefault.Load()
+}
+
+// attnActivity counts fused-attention work for /v1/stats: operator
+// invocations and the scratch the kernel checks out from the engine's
+// buffer pool (the memory that replaced the materialized score matrix).
+var attnActivity struct {
+	fusedCalls       atomic.Int64
+	scratchCheckouts atomic.Int64
+	scratchBytes     atomic.Int64
+}
+
+// AttentionActivity is a snapshot of fused-attention counters.
+type AttentionActivity struct {
+	// FusedCalls is the number of fused Ctx.Attention executions
+	// (eager forwards; analytic spec-only calls are not counted).
+	FusedCalls int64 `json:"fused_calls"`
+	// ScratchCheckouts / ScratchBytes measure pooled attention scratch
+	// drawn for score tiles, accumulators and backward recomputation.
+	ScratchCheckouts int64 `json:"scratch_checkouts"`
+	ScratchBytes     int64 `json:"scratch_bytes"`
+}
+
+// AttentionStats snapshots the process-wide fused-attention counters.
+func AttentionStats() AttentionActivity {
+	return AttentionActivity{
+		FusedCalls:       attnActivity.fusedCalls.Load(),
+		ScratchCheckouts: attnActivity.scratchCheckouts.Load(),
+		ScratchBytes:     attnActivity.scratchBytes.Load(),
+	}
+}
+
+// attnScratch draws pooled attention scratch through a Scratch checkout,
+// counting it for AttentionStats.
+func attnScratch(sc *engine.Scratch, n int) []float32 {
+	attnActivity.scratchCheckouts.Add(1)
+	attnActivity.scratchBytes.Add(int64(n) * 4)
+	return sc.GetUninit(n)
+}
+
+// Fast float32 e^x for the streaming softmax (arguments are ≤ 0 after
+// the running-max shift; magnitudes below e^-87.34 — subnormal
+// probabilities — flush to 0). This is the CPU analogue of the hardware
+// exp GPU attention kernels lean on: e^x = 2ⁿ · 2^(i/64) · e^r with the
+// 2^(i/64) factors from a 64-entry table and e^r from a degree-2
+// polynomial on |r| ≤ ln2/128 — a far shorter dependency chain than a
+// full-range polynomial. Range reduction subtracts a two-constant ln2/64
+// split, so the result carries ~2e-7 relative error: pure float32
+// arithmetic, deterministic everywhere, and well inside the fused
+// path's 1e-5 agreement with the unfused float64 softmax.
+const (
+	// expLog2e64 is 64·log2(e): one multiply yields x in 1/64-octave units.
+	expLog2e64 = 64 * 1.44269504088896341
+	// ln2/64 split for extended-precision range reduction (both halves
+	// are exact 2⁻⁶ shifts of the classic cephes ln2 split).
+	expC1 = 0.693359375 / 64
+	expC2 = -2.12194440e-4 / 64
+	// expMagic is 1.5·2²³: adding it to a float32 in (-2²², 0] lands in
+	// a binade whose ulp is 1, so the sum's mantissa holds the nearest
+	// integer; subtracting it back yields round(64·x·log2e) without any
+	// float64 round trip.
+	expMagic = 12582912.0
+	// expMin is where e^x falls below the smallest normal float32.
+	expMin = -87.33654
+)
+
+// exp2Bits[i] is the float32 bit pattern of 2^(i/64). Adding n<<23
+// (two's-complement, n ∈ [-126, 0]) rescales an entry by 2ⁿ directly in
+// exponent bits; the result stays normal for every x ≥ expMin.
+var exp2Bits = func() (t [64]uint32) {
+	for i := range t {
+		t[i] = math.Float32bits(float32(math.Exp2(float64(i) / 64)))
+	}
+	return
+}()
+
+// expf32 computes one fast exponential. The body is small enough for
+// the inliner, so the hot loops call it per element at no cost.
+func expf32(x float32) float32 {
+	if x < expMin {
+		return 0
+	}
+	kf := x*expLog2e64 + expMagic - expMagic
+	k := int32(kf)
+	r := x - kf*expC1 - kf*expC2
+	p := 1 + r + 0.5*r*r
+	return p * math.Float32frombits(exp2Bits[k&63]+uint32(k>>6)<<23)
+}
+
+// expRowScale replaces every score in row with scale·e^(score−m) — the
+// backward pass's probability reconstruction from the saved row max and
+// inverse denominator.
+func expRowScale(row []float32, m, scale float32) {
+	for j, s := range row {
+		row[j] = scale * expf32(s-m)
+	}
+}
+
+// scoreTile fills st[i*w+j] = scale · q_(i0+i) · k_(j0+j) for a
+// rows×w tile, reading head-h slices directly out of the [T,D]-strided
+// projections (qoff/koff are the flat offsets of row 0's head slice).
+// Four output dots per pass share one streaming read of the query row
+// (the matmulNTAlpha inner kernel on strided head slices), with each
+// dot keeping its own serial accumulator.
+func scoreTile(st, qd, kd []float32, qoff, koff, rows, w, i0, j0, d, dh int, scale float32) {
+	for i := 0; i < rows; i++ {
+		qrow := qd[qoff+(i0+i)*d : qoff+(i0+i)*d+dh]
+		srow := st[i*w : (i+1)*w]
+		j := 0
+		for ; j+4 <= w; j += 4 {
+			base := koff + (j0+j)*d
+			// Reslicing to len(qrow) lets the compiler drop the bounds
+			// checks inside the dot loop.
+			k0 := kd[base : base+dh][:len(qrow)]
+			k1 := kd[base+d : base+d+dh][:len(qrow)]
+			k2 := kd[base+2*d : base+2*d+dh][:len(qrow)]
+			k3 := kd[base+3*d : base+3*d+dh][:len(qrow)]
+			var s0, s1, s2, s3 float32
+			for l, ql := range qrow {
+				s0 += ql * k0[l]
+				s1 += ql * k1[l]
+				s2 += ql * k2[l]
+				s3 += ql * k3[l]
+			}
+			sq := srow[j : j+4 : j+4]
+			sq[0] = scale * s0
+			sq[1] = scale * s1
+			sq[2] = scale * s2
+			sq[3] = scale * s3
+		}
+		for ; j < w; j++ {
+			krow := kd[koff+(j0+j)*d : koff+(j0+j)*d+dh]
+			var s float32
+			for l, ql := range qrow {
+				s += ql * krow[l]
+			}
+			srow[j] = scale * s
+		}
+	}
+}
+
+// Attention computes fused multi-head scaled-dot-product attention:
+// out[B,Tq,D] = softmax(scale · Q·Kᵀ) · V per head, with q [B,Tq,D] and
+// k, v [B,Tk,D] still in merged-head layout (heads are strided slices,
+// so no SplitHeads/MergeHeads copies are needed). The full score matrix
+// is never materialized; peak scratch is one pooled score tile and one
+// accumulator per worker. The backward pass is a single tape step that
+// recomputes score tiles from pooled scratch instead of taping the
+// probabilities (the standard memory/compute trade).
+func (c *Ctx) Attention(q, k, v *Var, heads int, scale float32) *Var {
+	assertRank(q, 3, "Attention")
+	assertRank(k, 3, "Attention")
+	assertRank(v, 3, "Attention")
+	b, tq, d := q.Value.Dim(0), q.Value.Dim(1), q.Value.Dim(2)
+	tk := k.Value.Dim(1)
+	if k.Value.Dim(0) != b || v.Value.Dim(0) != b || k.Value.Dim(2) != d || v.Value.Dim(2) != d || v.Value.Dim(1) != tk {
+		panic(fmt.Sprintf("ops: Attention shapes q%v k%v v%v", q.Value.Shape(), k.Value.Shape(), v.Value.Shape()))
+	}
+	if heads <= 0 || d%heads != 0 {
+		panic(fmt.Sprintf("ops: Attention dim %d not divisible by %d heads", d, heads))
+	}
+	dh := d / heads
+	bh := b * heads
+	c.emit(kernels.AttentionSpec(fmt.Sprintf("attention_%dx%dx%dx%d", bh, tq, tk, dh), bh, tq, tk, dh, attnQTile, attnKTile))
+	out := c.out([]int{b, tq, d}, q, k, v)
+	if out.Value.Abstract() {
+		return out
+	}
+	attnActivity.fusedCalls.Add(1)
+	e := c.engine()
+	qd, kd, vd, od := q.Value.Data(), k.Value.Data(), v.Value.Data(), out.Value.Data()
+	taping := c.taping(q, k, v)
+	// The backward recomputes probabilities from the final running max
+	// and denominator of every query row; both are captured by the
+	// closure, so they are allocated normally, never pooled.
+	var rowMax, rowInvL []float32
+	if taping {
+		rowMax = make([]float32, bh*tq)
+		rowInvL = make([]float32, bh*tq)
+	}
+	negInf := float32(math.Inf(-1))
+	nqt := (tq + attnQTile - 1) / attnQTile
+	e.ParallelFor(bh*nqt, 1, func(lo, hi int) {
+		sc := e.NewScratch()
+		defer sc.Release()
+		st := attnScratch(sc, attnQTile*attnKTile)
+		acc := attnScratch(sc, attnQTile*dh)
+		// Per-row streaming-softmax state: running max and (float64)
+		// running denominator, fixed-size on the stack.
+		var mbuf [attnQTile]float32
+		var lbuf [attnQTile]float64
+		for u := lo; u < hi; u++ {
+			bi, h := u/nqt/heads, u/nqt%heads
+			i0 := (u % nqt) * attnQTile
+			rows := min(attnQTile, tq-i0)
+			qoff := bi*tq*d + h*dh
+			koff := bi*tk*d + h*dh
+			for i := 0; i < rows; i++ {
+				mbuf[i], lbuf[i] = negInf, 0
+			}
+			for x := range acc[:rows*dh] {
+				acc[x] = 0
+			}
+			// Fixed ascending key-tile order; each row's max, denominator
+			// and accumulator update serially, so the result is a pure
+			// function of the inputs.
+			for j0 := 0; j0 < tk; j0 += attnKTile {
+				w := min(attnKTile, tk-j0)
+				scoreTile(st, qd, kd, qoff, koff, rows, w, i0, j0, d, dh, scale)
+				for i := 0; i < rows; i++ {
+					srow := st[i*w : (i+1)*w]
+					m := mbuf[i]
+					for _, s := range srow {
+						if s > m {
+							m = s
+						}
+					}
+					accRow := acc[i*dh : (i+1)*dh]
+					if m > mbuf[i] {
+						// The max moved: rescale previous contributions.
+						if lbuf[i] != 0 {
+							al := expf32(mbuf[i] - m)
+							lbuf[i] *= float64(al)
+							for x := range accRow {
+								accRow[x] *= al
+							}
+						}
+						mbuf[i] = m
+					}
+					// One merged pass exponentiates the scores (the
+					// expf32 body inlined per element; a call per score
+					// would dominate) and folds the probabilities into
+					// the denominator and the V accumulator. Four key
+					// rows share one pass over the accumulator, cutting
+					// its load/store traffic 4× and feeding the FPU four
+					// independent product chains. The denominator adds
+					// each quad's float32 sum (error ~1e-7 relative, well
+					// inside the fused-vs-unfused tolerance) to the
+					// float64 running total.
+					l := lbuf[i]
+					j := 0
+					for ; j+4 <= w; j += 4 {
+						p0 := expf32(srow[j] - m)
+						p1 := expf32(srow[j+1] - m)
+						p2 := expf32(srow[j+2] - m)
+						p3 := expf32(srow[j+3] - m)
+						l += float64(p0 + p1 + p2 + p3)
+						vbase := koff + (j0+j)*d
+						v0 := vd[vbase : vbase+dh]
+						v1 := vd[vbase+d : vbase+d+dh][:len(v0)]
+						v2 := vd[vbase+2*d : vbase+2*d+dh][:len(v0)]
+						v3 := vd[vbase+3*d : vbase+3*d+dh][:len(v0)]
+						ar := accRow[:len(v0)]
+						for x, vx := range v0 {
+							ar[x] += p0*vx + p1*v1[x] + p2*v2[x] + p3*v3[x]
+						}
+					}
+					for ; j < w; j++ {
+						p := expf32(srow[j] - m)
+						if p == 0 {
+							continue
+						}
+						l += float64(p)
+						vrow := vd[koff+(j0+j)*d : koff+(j0+j)*d+dh]
+						for x, vx := range vrow {
+							accRow[x] += p * vx
+						}
+					}
+					lbuf[i] = l
+				}
+			}
+			for i := 0; i < rows; i++ {
+				inv := float32(1 / lbuf[i])
+				accRow := acc[i*dh : (i+1)*dh]
+				orow := od[qoff+(i0+i)*d : qoff+(i0+i)*d+dh]
+				for x, ax := range accRow {
+					orow[x] = ax * inv
+				}
+				if taping {
+					rowMax[(bi*heads+h)*tq+i0+i] = mbuf[i]
+					rowInvL[(bi*heads+h)*tq+i0+i] = inv
+				}
+			}
+		}
+	})
+	if taping {
+		c.tapeStep(out, func() {
+			c.attentionBackward(e, q, k, v, out, rowMax, rowInvL, heads, scale)
+		})
+	}
+	return out
+}
+
+// attentionBackward is the fused backward: one pass per (batch·head)
+// that recomputes score tiles (from pooled scratch, nothing taped),
+// rebuilds each probability from the saved row max / inverse
+// denominator, and accumulates all three input gradients in place:
+//
+//	dV += Pᵀ·dO,  dS = P ∘ (dO·Vᵀ − rowsum(dO ∘ O)),
+//	dQ += scale·dS·K,  dK += scale·dSᵀ·Q.
+//
+// Units partition over batch·head only: a head's dK/dV rows accumulate
+// across its query tiles, which must happen in one fixed serial order
+// for bitwise determinism.
+func (c *Ctx) attentionBackward(e *engine.Engine, q, k, v, out *Var, rowMax, rowInvL []float32, heads int, scale float32) {
+	b, tq, d := q.Value.Dim(0), q.Value.Dim(1), q.Value.Dim(2)
+	tk := k.Value.Dim(1)
+	dh := d / heads
+	qd, kd, vd := q.Value.Data(), k.Value.Data(), v.Value.Data()
+	od, g := out.Value.Data(), out.Grad.Data()
+	var qg, kg, vg []float32
+	if q.NeedGrad {
+		qg = q.EnsureGrad().Data()
+	}
+	if k.NeedGrad {
+		kg = k.EnsureGrad().Data()
+	}
+	if v.NeedGrad {
+		vg = v.EnsureGrad().Data()
+	}
+	e.ParallelFor(b*heads, 1, func(lo, hi int) {
+		sc := e.NewScratch()
+		defer sc.Release()
+		st := attnScratch(sc, attnQTile*attnKTile)
+		dsum := attnScratch(sc, tq)
+		for u := lo; u < hi; u++ {
+			bi, h := u/heads, u%heads
+			qoff := bi*tq*d + h*dh
+			koff := bi*tk*d + h*dh
+			// dsum[i] = dO_i · O_i (the softmax-backward row dot).
+			for i := 0; i < tq; i++ {
+				grow := g[qoff+i*d : qoff+i*d+dh]
+				orow := od[qoff+i*d : qoff+i*d+dh]
+				var s float32
+				for x, gx := range grow {
+					s += gx * orow[x]
+				}
+				dsum[i] = s
+			}
+			for i0 := 0; i0 < tq; i0 += attnQTile {
+				rows := min(attnQTile, tq-i0)
+				for j0 := 0; j0 < tk; j0 += attnKTile {
+					w := min(attnKTile, tk-j0)
+					scoreTile(st, qd, kd, qoff, koff, rows, w, i0, j0, d, dh, scale)
+					for i := 0; i < rows; i++ {
+						t := i0 + i
+						grow := g[qoff+t*d : qoff+t*d+dh]
+						qrow := qd[qoff+t*d : qoff+t*d+dh]
+						var qgrow []float32
+						if qg != nil {
+							qgrow = qg[qoff+t*d : qoff+t*d+dh]
+						}
+						di := dsum[t]
+						srow := st[i*w : (i+1)*w]
+						// Rebuild the probabilities from the saved row
+						// max and inverse denominator, in place.
+						expRowScale(srow, rowMax[u*tq+t], rowInvL[u*tq+t])
+						for j, p := range srow {
+							if p == 0 {
+								continue
+							}
+							kbase := koff + (j0+j)*d
+							if vg != nil {
+								vgrow := vg[kbase : kbase+dh]
+								for x, gx := range grow {
+									vgrow[x] += p * gx
+								}
+							}
+							// dp = dO_i · V_j, then dS with scale folded.
+							vrow := vd[kbase : kbase+dh]
+							var dp float32
+							for x, gx := range grow {
+								dp += gx * vrow[x]
+							}
+							ds := p * (dp - di) * scale
+							if qgrow != nil {
+								krow := kd[kbase : kbase+dh]
+								for x, kx := range krow {
+									qgrow[x] += ds * kx
+								}
+							}
+							if kg != nil {
+								kgrow := kg[kbase : kbase+dh]
+								for x, qx := range qrow {
+									kgrow[x] += ds * qx
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -46,6 +46,11 @@ type Ctx struct {
 	// engine.Default() (worker count from -compute-workers, default
 	// GOMAXPROCS). Results are bitwise identical at any worker count.
 	Eng *engine.Engine
+	// UnfusedAttention forces the unfused reference attention
+	// composition for this context, overriding the process default (the
+	// -unfused-attention flag; see FusedAttention). The fused and
+	// unfused paths agree within 1e-5, not bitwise.
+	UnfusedAttention bool
 }
 
 // Infer returns a minimal inference context with no tape or recorder.

@@ -34,6 +34,13 @@ func serialIfSmall(e *engine.Engine, flops int64) *engine.Engine {
 
 // matmulNN computes dst[m,n] += a[m,k] · b[k,n] over flat row-major slices.
 func matmulNN(e *engine.Engine, dst, a, b []float32, m, k, n int) {
+	matmulNNAlpha(e, dst, a, b, m, k, n, 1)
+}
+
+// matmulNNAlpha computes dst[m,n] += alpha · a[m,k] · b[k,n]. The alpha
+// folds into the broadcast multiplier (one multiply per a element, not
+// per product term), so alpha == 1 is bitwise identical to matmulNN.
+func matmulNNAlpha(e *engine.Engine, dst, a, b []float32, m, k, n int, alpha float32) {
 	e = serialIfSmall(e, int64(m)*int64(k)*int64(n))
 	e.ParallelFor(m, matmulRowTile, func(i0, i1 int) {
 		for l0 := 0; l0 < k; l0 += matmulKBlock {
@@ -45,7 +52,7 @@ func matmulNN(e *engine.Engine, dst, a, b []float32, m, k, n int) {
 				ar := a[i*k : (i+1)*k]
 				dr := dst[i*n : (i+1)*n]
 				for l := l0; l < l1; l++ {
-					av := ar[l]
+					av := ar[l] * alpha
 					if av == 0 {
 						continue
 					}
@@ -61,6 +68,15 @@ func matmulNN(e *engine.Engine, dst, a, b []float32, m, k, n int) {
 
 // matmulNT computes dst[m,k] += a[m,n] · b[k,n]ᵀ.
 func matmulNT(e *engine.Engine, dst, a, b []float32, m, n, k int) {
+	matmulNTAlpha(e, dst, a, b, m, n, k, 1)
+}
+
+// matmulNTAlpha computes dst[m,k] += alpha · a[m,n] · b[k,n]ᵀ. The alpha
+// is applied once per finished dot product — the same
+// scale-after-accumulate order a separate Scale pass would produce, so
+// folding the attention 1/√dh here changes no bits versus the old
+// MatMul→Scale composition.
+func matmulNTAlpha(e *engine.Engine, dst, a, b []float32, m, n, k int, alpha float32) {
 	e = serialIfSmall(e, int64(m)*int64(n)*int64(k))
 	e.ParallelFor(m, matmulRowTile, func(i0, i1 int) {
 		for i := i0; i < i1; i++ {
@@ -83,10 +99,10 @@ func matmulNT(e *engine.Engine, dst, a, b []float32, m, n, k int) {
 					s2 += al * b2[l]
 					s3 += al * b3[l]
 				}
-				dr[j] += s0
-				dr[j+1] += s1
-				dr[j+2] += s2
-				dr[j+3] += s3
+				dr[j] += alpha * s0
+				dr[j+1] += alpha * s1
+				dr[j+2] += alpha * s2
+				dr[j+3] += alpha * s3
 			}
 			for ; j < k; j++ {
 				br := b[j*n : (j+1)*n]
@@ -94,7 +110,7 @@ func matmulNT(e *engine.Engine, dst, a, b []float32, m, n, k int) {
 				for l := range ar {
 					s += ar[l] * br[l]
 				}
-				dr[j] += s
+				dr[j] += alpha * s
 			}
 		}
 	})
@@ -104,12 +120,18 @@ func matmulNT(e *engine.Engine, dst, a, b []float32, m, n, k int) {
 // rows of dst; each row accumulates over l ascending, matching the
 // serial kernel's per-element order.
 func matmulTN(e *engine.Engine, dst, a, b []float32, m, k, n int) {
+	matmulTNAlpha(e, dst, a, b, m, k, n, 1)
+}
+
+// matmulTNAlpha computes dst[k,n] += alpha · a[m,k]ᵀ · b[m,n], with
+// alpha folded into the broadcast multiplier like matmulNNAlpha.
+func matmulTNAlpha(e *engine.Engine, dst, a, b []float32, m, k, n int, alpha float32) {
 	e = serialIfSmall(e, int64(m)*int64(k)*int64(n))
 	e.ParallelFor(k, matmulRowTile, func(i0, i1 int) {
 		for i := i0; i < i1; i++ {
 			dr := dst[i*n : (i+1)*n]
 			for l := 0; l < m; l++ {
-				av := a[l*k+i]
+				av := a[l*k+i] * alpha
 				if av == 0 {
 					continue
 				}
@@ -191,6 +213,55 @@ func (c *Ctx) MatMulBatched(a, b *Var) *Var {
 				}
 				if bgd != nil {
 					matmulTN(inner, bgd[i*k*n:(i+1)*k*n], ad[i*m*k:(i+1)*m*k], gi, m, k, n)
+				}
+			})
+		})
+	}
+	return out
+}
+
+// MatMulBatchedNT multiplies a[B,m,d] by b[B,n,d] transposed on its last
+// two dims, scaled by alpha: out[B,m,n] = alpha · a · bᵀ. It is the
+// attention score product Q·Kᵀ/√dh without the materialized transpose
+// copy or the extra Scale tensor: the second operand is read in its
+// natural row-major layout (each dot streams two contiguous d-rows) and
+// alpha is applied once per finished dot, bitwise identical to the old
+// MatMulBatched(a, TransposeLast2(b)) → Scale composition.
+func (c *Ctx) MatMulBatchedNT(a, b *Var, alpha float32) *Var {
+	assertRank(a, 3, "MatMulBatchedNT")
+	assertRank(b, 3, "MatMulBatchedNT")
+	bs, m, d := a.Value.Dim(0), a.Value.Dim(1), a.Value.Dim(2)
+	if b.Value.Dim(0) != bs || b.Value.Dim(2) != d {
+		panic(fmt.Sprintf("ops: MatMulBatchedNT shapes %v × %vᵀ", a.Value.Shape(), b.Value.Shape()))
+	}
+	n := b.Value.Dim(1)
+	c.emit(kernels.GemmSpec(fmt.Sprintf("bgemm_nt_%dx%dx%dx%d", bs, m, d, n), bs*m, d, n))
+	out := c.out([]int{bs, m, n}, a, b)
+	if out.Value.Abstract() {
+		return out
+	}
+	e := c.engine()
+	ad, bd, od := a.Value.Data(), b.Value.Data(), out.Value.Data()
+	batchMatmul(e, bs, func(inner *engine.Engine, i int) {
+		matmulNTAlpha(inner, od[i*m*n:(i+1)*m*n], ad[i*m*d:(i+1)*m*d], bd[i*n*d:(i+1)*n*d], m, d, n, alpha)
+	})
+	if c.taping(a, b) {
+		c.tapeStep(out, func() {
+			g := out.Grad.Data()
+			var agd, bgd []float32
+			if a.NeedGrad {
+				agd = a.EnsureGrad().Data()
+			}
+			if b.NeedGrad {
+				bgd = b.EnsureGrad().Data()
+			}
+			batchMatmul(e, bs, func(inner *engine.Engine, i int) {
+				gi := g[i*m*n : (i+1)*m*n]
+				if agd != nil {
+					matmulNNAlpha(inner, agd[i*m*d:(i+1)*m*d], gi, bd[i*n*d:(i+1)*n*d], m, n, d, alpha)
+				}
+				if bgd != nil {
+					matmulTNAlpha(inner, bgd[i*n*d:(i+1)*n*d], gi, ad[i*m*d:(i+1)*m*d], m, n, d, alpha)
 				}
 			})
 		})

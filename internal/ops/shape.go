@@ -183,27 +183,37 @@ func (c *Ctx) TransposeLast2(x *Var) *Var {
 	if out.Value.Abstract() {
 		return out
 	}
+	// Partition over output rows: each row od[.., j, :] is written by
+	// exactly one chunk (gathering a strided column of x), so results
+	// are bitwise identical at any worker count.
+	e := c.engine()
 	xd, od := x.Value.Data(), out.Value.Data()
-	for bi := 0; bi < batch; bi++ {
-		xo := bi * a * b
-		for i := 0; i < a; i++ {
-			for j := 0; j < b; j++ {
-				od[xo+j*a+i] = xd[xo+i*b+j]
+	e.ParallelFor(batch*b, rowGrain(a), func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			bi, j := r/b, r%b
+			xo := bi * a * b
+			orow := od[xo+j*a : xo+(j+1)*a]
+			for i := range orow {
+				orow[i] = xd[xo+i*b+j]
 			}
 		}
-	}
+	})
 	if c.taping(x) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			xg := x.EnsureGrad().Data()
-			for bi := 0; bi < batch; bi++ {
-				xo := bi * a * b
-				for i := 0; i < a; i++ {
-					for j := 0; j < b; j++ {
-						xg[xo+i*b+j] += g[xo+j*a+i]
+			// Backward partitions over input rows instead, keeping each
+			// xg row owned by one chunk.
+			e.ParallelFor(batch*a, rowGrain(b), func(r0, r1 int) {
+				for r := r0; r < r1; r++ {
+					bi, i := r/a, r%a
+					xo := bi * a * b
+					xrow := xg[xo+i*b : xo+(i+1)*b]
+					for j := range xrow {
+						xrow[j] += g[xo+j*a+i]
 					}
 				}
-			}
+			})
 		})
 	}
 	return out

@@ -21,6 +21,7 @@ import (
 	"mmbench"
 	"mmbench/internal/engine"
 	"mmbench/internal/jobs"
+	"mmbench/internal/ops"
 	"mmbench/internal/resultcache"
 )
 
@@ -291,6 +292,7 @@ type Stats struct {
 	Cache         CacheStats     `json:"cache"`
 	Jobs          map[string]int `json:"jobs"`
 	Engine        EngineStats    `json:"engine"`
+	Attention     AttentionStats `json:"attention"`
 }
 
 // LatencyStats are percentiles over the recent /v1/run window.
@@ -316,6 +318,16 @@ type EngineStats struct {
 	PoolHitRate float64 `json:"pool_hit_rate"`
 }
 
+// AttentionStats reports the attention-path toggle and the fused
+// kernel's scratch-pool activity (the pooled tiles that replaced the
+// materialized score matrix) — see cmd/mmbench serve's
+// -unfused-attention flag.
+type AttentionStats struct {
+	// Fused is the process default attention path.
+	Fused bool `json:"fused"`
+	ops.AttentionActivity
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.countRequest()
 	uptime := time.Since(s.start).Seconds()
@@ -338,6 +350,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Cache:  CacheStats{Stats: cs, HitRate: cs.HitRate()},
 		Engine: EngineStats{Stats: es, PoolHitRate: es.HitRate()},
+		Attention: AttentionStats{
+			Fused:             !ops.DefaultUnfusedAttention(),
+			AttentionActivity: ops.AttentionStats(),
+		},
 		Jobs: map[string]int{
 			"queued":  counts.Queued,
 			"running": counts.Running,

@@ -337,3 +337,47 @@ func TestStatsReportsEngine(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsReportsAttention drives an eager run through a workload with
+// a transformer encoder (mosei's small flavour) and checks /v1/stats
+// reports the fused-attention toggle plus the kernel's scratch-pool
+// activity.
+func TestStatsReportsAttention(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var before Stats
+	getJSON(t, ts.URL+"/v1/stats", &before)
+	if !before.Attention.Fused {
+		t.Fatal("fused attention must be the default toggle state")
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/run",
+		`{"workload":"mosei","batch":4,"paper_scale":false,"eager":true}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eager run status %d", resp.StatusCode)
+	}
+
+	var stats Stats
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Attention.FusedCalls <= before.Attention.FusedCalls {
+		t.Fatalf("fused attention calls did not advance: before %d after %d",
+			before.Attention.FusedCalls, stats.Attention.FusedCalls)
+	}
+	if stats.Attention.ScratchCheckouts <= before.Attention.ScratchCheckouts ||
+		stats.Attention.ScratchBytes <= before.Attention.ScratchBytes {
+		t.Fatalf("attention scratch activity missing: %+v", stats.Attention)
+	}
+
+	// The JSON wire format must expose the documented field names.
+	var raw map[string]any
+	getJSON(t, ts.URL+"/v1/stats", &raw)
+	attn, ok := raw["attention"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats JSON missing attention block: %v", raw)
+	}
+	for _, field := range []string{"fused", "fused_calls", "scratch_checkouts", "scratch_bytes"} {
+		if _, ok := attn[field]; !ok {
+			t.Fatalf("attention stats JSON missing %q: %v", field, attn)
+		}
+	}
+}

@@ -106,6 +106,10 @@ type Config struct {
 	// process default. Training results are identical at any worker
 	// count (dropout masks are drawn on the coordinating goroutine).
 	Engine *engine.Engine
+	// UnfusedAttention forces the unfused reference attention
+	// composition instead of the fused streaming-softmax kernel
+	// (default: the process-wide -unfused-attention setting).
+	UnfusedAttention bool
 }
 
 // DefaultConfig returns a quick-converging configuration for the planted
@@ -148,7 +152,7 @@ func Fit(n *mmnet.Network, cfg Config) Result {
 		for s := 0; s < cfg.StepsPerEpoch; s++ {
 			b := n.Gen.Batch(rng.Split(int64(e*1000+s)), cfg.BatchSize)
 			tape := autograd.NewTape()
-			c := &ops.Ctx{Tape: tape, Training: true, RNG: rng, Eng: cfg.Engine}
+			c := &ops.Ctx{Tape: tape, Training: true, RNG: rng, Eng: cfg.Engine, UnfusedAttention: cfg.UnfusedAttention}
 			out := n.Forward(c, b)
 			loss := n.Loss(c, out, b)
 			tape.Backward(loss)
@@ -156,23 +160,26 @@ func Fit(n *mmnet.Network, cfg Config) Result {
 			lastLoss = float64(loss.Value.At(0))
 		}
 	}
-	eval := EvaluateWith(n, cfg.Engine, tensor.NewRNG(cfg.Seed+7777), 8, cfg.BatchSize)
+	eval := EvaluateWith(n, cfg.Engine, cfg.UnfusedAttention, tensor.NewRNG(cfg.Seed+7777), 8, cfg.BatchSize)
 	eval.FinalLoss = lastLoss
 	return eval
 }
 
 // Evaluate measures the task metric over nBatches fresh batches on the
-// default compute engine.
+// default compute engine and attention path.
 func Evaluate(n *mmnet.Network, rng *tensor.RNG, nBatches, batchSize int) Result {
-	return EvaluateWith(n, nil, rng, nBatches, batchSize)
+	return EvaluateWith(n, nil, false, rng, nBatches, batchSize)
 }
 
-// EvaluateWith is Evaluate on an explicit compute engine (nil = default).
-func EvaluateWith(n *mmnet.Network, eng *engine.Engine, rng *tensor.RNG, nBatches, batchSize int) Result {
+// EvaluateWith is Evaluate on an explicit compute engine (nil =
+// default) and attention path (unfusedAttn mirrors
+// Config.UnfusedAttention, so a fused-vs-unfused A/B evaluation does
+// not need the process-wide toggle).
+func EvaluateWith(n *mmnet.Network, eng *engine.Engine, unfusedAttn bool, rng *tensor.RNG, nBatches, batchSize int) Result {
 	var metric float64
 	for i := 0; i < nBatches; i++ {
 		b := n.Gen.Batch(rng.Split(int64(i)), batchSize)
-		out := n.Forward(&ops.Ctx{Eng: eng}, b)
+		out := n.Forward(&ops.Ctx{Eng: eng, UnfusedAttention: unfusedAttn}, b)
 		metric += BatchMetric(n.Task, out, b)
 	}
 	return Result{Metric: metric / float64(nBatches)}
