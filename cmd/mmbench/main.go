@@ -104,27 +104,50 @@ func unfusedAttentionFlag(fs *flag.FlagSet) *bool {
 		"use the unfused reference attention composition instead of the fused streaming-softmax kernel (slower, materializes the score matrix)")
 }
 
-// configureCompute sets the default compute engine's worker count.
-// When the flag is 0 the budget is GOMAXPROCS divided by the command's
-// job-level workers, so scheduler parallelism × kernel parallelism
-// never oversubscribes the machine. Worker count never changes results.
-func configureCompute(computeWorkers, jobWorkers int) {
-	if computeWorkers <= 0 {
-		if jobWorkers < 1 {
-			jobWorkers = 1
-		}
-		computeWorkers = runtime.GOMAXPROCS(0) / jobWorkers
-		if computeWorkers < 1 {
-			computeWorkers = 1
-		}
+// branchParallelFlag registers the -branch-parallel flag shared by
+// every command that runs multi-modal networks.
+func branchParallelFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("branch-parallel", true,
+		"run per-modality encoder branches concurrently (bitwise identical to the sequential reference; the engine worker budget is split across branches)")
+}
+
+// computeWorkerBudget resolves the per-job compute worker count. A
+// positive request wins; otherwise the budget is GOMAXPROCS divided by
+// the command's job-level workers, clamped to at least 1 — without the
+// clamp, more job workers than CPUs floors the division to 0, and
+// engine worker count 0 means "auto = full GOMAXPROCS" per job: the
+// exact oversubscription the auto mode exists to prevent.
+func computeWorkerBudget(requested, jobWorkers int) int {
+	if requested > 0 {
+		return requested
 	}
-	engine.SetDefaultWorkers(computeWorkers)
+	if jobWorkers < 1 {
+		jobWorkers = 1
+	}
+	w := runtime.GOMAXPROCS(0) / jobWorkers
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// configureCompute sets the default compute engine's worker count so
+// scheduler parallelism × kernel parallelism never oversubscribes the
+// machine. Worker count never changes results.
+func configureCompute(computeWorkers, jobWorkers int) {
+	engine.SetDefaultWorkers(computeWorkerBudget(computeWorkers, jobWorkers))
 }
 
 // configureAttention sets the process-wide attention-path default from
 // the -unfused-attention flag.
 func configureAttention(unfused bool) {
 	ops.SetDefaultUnfusedAttention(unfused)
+}
+
+// configureBranches sets the process-wide branch-schedule default from
+// the -branch-parallel flag.
+func configureBranches(parallel bool) {
+	ops.SetDefaultSequentialBranches(!parallel)
 }
 
 func cmdRun(args []string) error {
@@ -138,11 +161,13 @@ func cmdRun(args []string) error {
 	format := fs.String("format", "text", "output format: text, csv or json")
 	computeWorkers := computeWorkersFlag(fs)
 	unfusedAttn := unfusedAttentionFlag(fs)
+	branchPar := branchParallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	configureCompute(*computeWorkers, 1)
 	configureAttention(*unfusedAttn)
+	configureBranches(*branchPar)
 	rep, err := mmbench.Run(mmbench.RunConfig{
 		Workload:   *workload,
 		Variant:    *variant,
@@ -195,11 +220,13 @@ func cmdTrain(args []string) error {
 	seed := fs.Int64("seed", 1, "data seed")
 	computeWorkers := computeWorkersFlag(fs)
 	unfusedAttn := unfusedAttentionFlag(fs)
+	branchPar := branchParallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	configureCompute(*computeWorkers, 1)
 	configureAttention(*unfusedAttn)
+	configureBranches(*branchPar)
 	res, err := mmbench.Train(mmbench.TrainConfig{
 		Workload: *workload,
 		Variant:  *variant,

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestComputeWorkerBudget pins the auto-split contract, including the
+// regression where more job workers than CPUs floored the division to
+// 0 — which engine.New interprets as "auto = full GOMAXPROCS" per job,
+// the exact oversubscription the auto mode exists to prevent.
+func TestComputeWorkerBudget(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name                  string
+		requested, jobWorkers int
+		want                  int
+	}{
+		{"explicit request wins", 3, 64, 3},
+		{"single job gets everything", 0, 1, procs},
+		{"split across jobs", 0, 2, max(1, procs/2)},
+		{"more jobs than CPUs clamps to 1", 0, procs + 1, 1},
+		{"way more jobs than CPUs clamps to 1", 0, 16 * procs, 1},
+		{"zero job workers treated as one", 0, 0, procs},
+		{"negative job workers treated as one", 0, -4, procs},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := computeWorkerBudget(tc.requested, tc.jobWorkers)
+			if got != tc.want {
+				t.Fatalf("computeWorkerBudget(%d, %d) = %d, want %d",
+					tc.requested, tc.jobWorkers, got, tc.want)
+			}
+			if got < 1 {
+				t.Fatalf("budget %d below 1: engine would fall back to full GOMAXPROCS", got)
+			}
+		})
+	}
+}

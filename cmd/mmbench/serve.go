@@ -23,20 +23,37 @@ func cmdServe(args []string) error {
 	cacheMB := fs.Int("cache-mb", 64, "result cache budget in MiB")
 	computeWorkers := computeWorkersFlag(fs)
 	unfusedAttn := unfusedAttentionFlag(fs)
+	branchPar := branchParallelFlag(fs)
+	writeTimeout := fs.Duration("write-timeout", 5*time.Minute,
+		"HTTP write deadline per request; must cover the longest synchronous /v1/run (long eager runs should go through /v1/sweep jobs instead)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	configureAttention(*unfusedAttn)
+	configureBranches(*branchPar)
 	// Job workers and kernel workers share one CPU budget: with W
 	// scheduler workers the auto setting gives each eager run
-	// GOMAXPROCS/W compute workers.
+	// GOMAXPROCS/W compute workers (split further across encoder
+	// branches when -branch-parallel is on).
 	configureCompute(*computeWorkers, *workers)
 
 	s := serve.New(serve.Options{
 		Workers:    *workers,
 		CacheBytes: int64(*cacheMB) << 20,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	// Slow or stalled clients must not pin handler goroutines forever:
+	// bound header/body reads and idle keep-alives tightly. The write
+	// deadline starts when the request is read, so it must cover a
+	// synchronous eager run's whole compute time — it is a flag because
+	// the right bound depends on the machine and workload scale.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -30,11 +30,13 @@ func cmdSweep(args []string) error {
 	format := fs.String("format", "text", "output format: text, csv or json")
 	computeWorkers := computeWorkersFlag(fs)
 	unfusedAttn := unfusedAttentionFlag(fs)
+	branchPar := branchParallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	configureCompute(*computeWorkers, *workers)
 	configureAttention(*unfusedAttn)
+	configureBranches(*branchPar)
 
 	batchList, err := parseInts(*batches)
 	if err != nil {

@@ -66,6 +66,18 @@ func (t *Tape) Len() int { return len(t.steps) }
 // Reset discards all recorded steps so the tape can be reused.
 func (t *Tape) Reset() { t.steps = t.steps[:0] }
 
+// Replay runs the recorded steps in reverse registration order without
+// seeding any gradient. It is how the branch executor replays an
+// encoder branch's isolated tape segment: the segment's output
+// gradients were already seeded by the fusion stage's backward steps on
+// the main tape, so replaying the segment continues the chain exactly
+// as if its steps had been appended to the main tape.
+func (t *Tape) Replay() {
+	for i := len(t.steps) - 1; i >= 0; i-- {
+		t.steps[i]()
+	}
+}
+
 // Backward seeds the loss gradient with 1 and replays the tape in reverse.
 // The loss must be a scalar (one element).
 func (t *Tape) Backward(loss *Var) {
@@ -76,7 +88,5 @@ func (t *Tape) Backward(loss *Var) {
 		panic(fmt.Sprintf("autograd: Backward needs scalar loss, got shape %v", loss.Value.Shape()))
 	}
 	loss.EnsureGrad().Fill(1)
-	for i := len(t.steps) - 1; i >= 0; i-- {
-		t.steps[i]()
-	}
+	t.Replay()
 }

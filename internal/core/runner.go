@@ -36,6 +36,11 @@ type RunOptions struct {
 	// composition instead of the fused streaming-softmax kernel
 	// (default: the process-wide -unfused-attention setting).
 	UnfusedAttention bool
+	// SequentialBranches forces the sequential encoder-branch loop
+	// instead of the modality-parallel branch executor (default: the
+	// process-wide -branch-parallel setting). Either way the run is
+	// bitwise identical, so the toggle never participates in cache keys.
+	SequentialBranches bool
 }
 
 func (o *RunOptions) defaults() {
@@ -107,7 +112,12 @@ func Run(n *mmnet.Network, opts RunOptions) (*RunResult, error) {
 		batch = n.Gen.AbstractBatch(opts.BatchSize)
 	}
 
-	c := &ops.Ctx{Rec: builder, Eng: opts.Engine, UnfusedAttention: opts.UnfusedAttention}
+	c := &ops.Ctx{
+		Rec:                builder,
+		Eng:                opts.Engine,
+		UnfusedAttention:   opts.UnfusedAttention,
+		SequentialBranches: opts.SequentialBranches,
+	}
 	out := n.Forward(c, batch)
 
 	// Results return to the host.

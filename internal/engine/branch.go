@@ -1,0 +1,120 @@
+package engine
+
+import "sync"
+
+// Branch sub-engines.
+//
+// The modality-parallel branch executor runs one goroutine per encoder
+// branch, and every branch executes eager kernels through its own
+// engine. Handing each branch the parent engine's full worker count
+// would multiply the machine's parallelism by the branch count, so the
+// parent's budget is split: with W workers and B branches each branch
+// gets max(1, W/B) workers — scheduler × branch × kernel parallelism
+// stays within the one -compute-workers budget. Worker count never
+// changes results (the determinism contract above), so splitting is
+// purely a scheduling decision.
+
+// BranchWorkers returns the per-branch worker budget when splitting
+// total workers across branches: max(1, total/branches). A 1-worker
+// branch engine runs its loops inline on the branch goroutine, so even
+// total < branches adds no threads beyond the branch goroutines
+// themselves.
+func BranchWorkers(total, branches int) int {
+	if branches <= 1 {
+		return total
+	}
+	w := total / branches
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// branchEngines caches sub-engines by per-branch worker width. Engines
+// are shared by every branch executor that resolves to the same width
+// (concurrent Forward calls included — Engine is concurrency-safe), and
+// live for the process like the default engine.
+var branchEngines struct {
+	mu      sync.Mutex
+	byWidth map[int][]*Engine
+}
+
+// ForBranches returns one engine per branch, each configured with
+// BranchWorkers(parent.Workers(), branches) workers. The engines are
+// cached process-wide and must not be Closed by callers. Distinct
+// branches of one Forward call get distinct engines (and thus distinct
+// buffer pools), so its branch goroutines never contend on one pool's
+// lock for scratch; concurrent Forward calls that resolve to the same
+// width deliberately share the cached engines, which is what keeps the
+// process's branch worker and scratch footprint bounded under job-level
+// concurrency. All cached sub-engines — across every width — split one
+// idle-retention budget between them, so the whole branch-engine cache
+// retains at most what a single engine may.
+func ForBranches(parent *Engine, branches int) []*Engine {
+	w := BranchWorkers(parent.Workers(), branches)
+	branchEngines.mu.Lock()
+	defer branchEngines.mu.Unlock()
+	if branchEngines.byWidth == nil {
+		branchEngines.byWidth = make(map[int][]*Engine)
+	}
+	list := branchEngines.byWidth[w]
+	if len(list) < branches {
+		for len(list) < branches {
+			list = append(list, New(w))
+		}
+		branchEngines.byWidth[w] = list
+		total := 0
+		for _, l := range branchEngines.byWidth {
+			total += len(l)
+		}
+		per := int64(maxPoolBytes) / int64(total)
+		for _, l := range branchEngines.byWidth {
+			for _, e := range l {
+				e.setPoolBudget(per)
+			}
+		}
+	}
+	return list[:branches:branches]
+}
+
+// BranchEngineStats sums the counters of every cached branch sub-engine
+// (the /v1/stats "branches" block). Workers is the widest single join's
+// combined worker budget — the most branch-engine workers one Forward
+// call can occupy at once — not a lifetime sum over every width ever
+// cached, which would overstate the budget as soon as two different
+// branch counts had been served.
+func BranchEngineStats() Stats {
+	branchEngines.mu.Lock()
+	defer branchEngines.mu.Unlock()
+	var total Stats
+	for w, list := range branchEngines.byWidth {
+		if budget := w * len(list); budget > total.Workers {
+			total.Workers = budget
+		}
+		for _, e := range list {
+			s := e.Stats()
+			total.Calls += s.Calls
+			total.Tasks += s.Tasks
+			total.PoolHits += s.PoolHits
+			total.PoolMisses += s.PoolMisses
+			total.BytesReused += s.BytesReused
+		}
+	}
+	return total
+}
+
+// TotalStats merges the default engine's counters with every branch
+// sub-engine's, so service-level engine reporting covers kernels that
+// ran inside parallel encoder branches too. Workers stays the default
+// engine's configured count (the -compute-workers budget the branch
+// split stays within).
+func TotalStats() Stats {
+	s := Default().Stats()
+	b := BranchEngineStats()
+	s.Calls += b.Calls
+	s.Tasks += b.Tasks
+	s.PoolHits += b.PoolHits
+	s.PoolMisses += b.PoolMisses
+	s.BytesReused += b.BytesReused
+	return s
+}

@@ -33,13 +33,34 @@ type bufPool struct {
 	mu       sync.Mutex
 	buckets  [numBuckets][][]float32
 	retained int64 // idle bytes currently held across all buckets
+	// budget bounds retained; the default is maxPoolBytes, and branch
+	// sub-engines get a slice of it so a family of cached engines
+	// cannot multiply the process's idle-scratch retention.
+	budget int64
 
 	hits        atomic.Int64
 	misses      atomic.Int64
 	bytesReused atomic.Int64
 }
 
-func (p *bufPool) init() {}
+func (p *bufPool) init() { p.budget = maxPoolBytes }
+
+// setBudget bounds the pool's idle retention, evicting the newest
+// retained buffers (largest buckets first) until under the new budget.
+func (e *Engine) setPoolBudget(budget int64) {
+	p := &e.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.budget = budget
+	for idx := numBuckets - 1; idx >= 0 && p.retained > budget; idx-- {
+		for len(p.buckets[idx]) > 0 && p.retained > budget {
+			last := len(p.buckets[idx]) - 1
+			p.retained -= int64(cap(p.buckets[idx][last])) * 4
+			p.buckets[idx][last] = nil
+			p.buckets[idx] = p.buckets[idx][:last]
+		}
+	}
+}
 
 // debugPoison, when enabled, fills buffers with NaN on Put so any
 // stale read through a retained slice surfaces immediately in results
@@ -136,7 +157,7 @@ func (e *Engine) Put(buf []float32) {
 	}
 	e.pool.mu.Lock()
 	if len(e.pool.buckets[idx]) < maxPerBucket &&
-		e.pool.retained+int64(cap(buf))*4 <= maxPoolBytes {
+		e.pool.retained+int64(cap(buf))*4 <= e.pool.budget {
 		e.pool.buckets[idx] = append(e.pool.buckets[idx], buf)
 		e.pool.retained += int64(cap(buf)) * 4
 	}

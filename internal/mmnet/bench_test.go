@@ -1,0 +1,34 @@
+package mmnet_test
+
+import (
+	"testing"
+
+	"mmbench/internal/ops"
+	"mmbench/internal/tensor"
+	"mmbench/internal/workloads"
+)
+
+// The branch-parallel benchmark pair: the same ≥3-modality eager
+// forward under the sequential reference loop and the modality-parallel
+// executor. Outputs are bitwise identical; the delta is wall clock.
+// CMU-MOSEI's trainable flavour is used because its three branches are
+// substantial and heterogeneous (transformer + two LSTMs), the shape
+// the paper's modality-sync analysis cares about.
+
+func benchForward(b *testing.B, sequential bool) {
+	b.Helper()
+	n, err := workloads.Build("mosei", "concat", false, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := n.Gen.Batch(tensor.NewRNG(11), 16)
+	c := &ops.Ctx{SequentialBranches: sequential}
+	n.Forward(c, batch) // warm engine pools
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Forward(c, batch)
+	}
+}
+
+func BenchmarkForwardSequential(b *testing.B)     { benchForward(b, true) }
+func BenchmarkForwardBranchParallel(b *testing.B) { benchForward(b, false) }

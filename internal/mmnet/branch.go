@@ -1,0 +1,305 @@
+// Modality-parallel branch executor.
+//
+// MMBench's central observation is that end-to-end multi-modal networks
+// are staged: per-modality encoder branches are mutually independent
+// and only join at the modality-sync barrier before fusion. The
+// executor exploits that structure — one goroutine per encoder branch —
+// while keeping every observable artifact bitwise identical to the
+// sequential reference loop:
+//
+//   - Values: eager kernels are deterministic at any engine worker
+//     count, and branches share no tensors, so per-branch outputs are
+//     the sequential ones regardless of scheduling.
+//   - Gradients: each branch records backward steps onto an isolated
+//     tape; the main tape gets one join step (appended before any
+//     fusion step) that replays the branch segments concurrently during
+//     Backward. Branch segments touch disjoint parameter/activation
+//     sets — enforced by a one-time shared-parameter check — so
+//     concurrent replay accumulates exactly the sequential gradients.
+//   - Traces: each branch records kernels and host segments into a
+//     trace.Shard; shards replay into the real recorder in fixed
+//     modality order at the join, reproducing the sequential event
+//     sequence (and thus the priced timeline) exactly.
+//   - RNG: dropout streams are per-branch, split from the step RNG in
+//     modality order on the coordinating goroutine. Both the parallel
+//     and the sequential path use the same split, so the two stay
+//     bitwise identical in training mode too.
+//
+// The engine worker budget is split across active branches
+// (engine.ForBranches), so scheduler × branch × kernel parallelism
+// stays within the one -compute-workers budget.
+package mmnet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mmbench/internal/autograd"
+	"mmbench/internal/data"
+	"mmbench/internal/engine"
+	"mmbench/internal/models"
+	"mmbench/internal/ops"
+	"mmbench/internal/tensor"
+	"mmbench/internal/trace"
+)
+
+// branchSeedBase labels the per-branch RNG splits so branch streams
+// cannot collide with the data generator's step splits (small labels).
+const branchSeedBase = 0x6d6d6272616e << 4 // "mmbran"
+
+// encodeBranches runs every encoder branch and returns the per-modality
+// features, parallel when eligible and sequential otherwise. Untaped
+// forwards (inference, profiling) only ever read parameters, so they
+// are always eligible; taped forwards additionally require the branches
+// to share no parameters, re-checked per call because Encoders is an
+// exported field callers may rewire between runs.
+func (n *Network) encodeBranches(c *ops.Ctx, b *data.Batch) []*ops.Var {
+	if len(n.Encoders) > 1 && c.ParallelBranches() &&
+		(c.Tape == nil || n.branchesIndependent()) {
+		return n.encodeParallel(c, b)
+	}
+	return n.encodeSequential(c, b)
+}
+
+// branchRNGs derives one dropout RNG per branch from the context RNG,
+// in modality order on the calling goroutine. Both execution paths use
+// this same derivation, which is what keeps them bitwise identical:
+// parallel branches cannot interleave draws on a shared stream, so the
+// sequential path must not share one either. (This redefines the
+// multi-branch training dropout streams relative to the pre-executor
+// code, which drew them from the parent stream in sequence — a one-time
+// break documented in the README.) Single-branch networks never run in
+// parallel, so they keep drawing from the parent stream unchanged.
+func (n *Network) branchRNGs(c *ops.Ctx) []*tensor.RNG {
+	if c.RNG == nil || !c.Training || len(n.Encoders) < 2 {
+		return nil
+	}
+	rngs := make([]*tensor.RNG, len(n.Encoders))
+	for i := range rngs {
+		rngs[i] = c.RNG.Split(branchSeedBase + int64(i))
+	}
+	return rngs
+}
+
+// encodeSequential is the reference branch loop: one encoder after
+// another on the caller's goroutine, tape and recorder.
+func (n *Network) encodeSequential(c *ops.Ctx, b *data.Batch) []*ops.Var {
+	branchActivity.sequentialForwards.Add(1)
+	rngs := n.branchRNGs(c)
+	feats := make([]*ops.Var, len(n.Encoders))
+	for i, enc := range n.Encoders {
+		setScope(c, StageEncoder, n.Modalities[i])
+		bc := c
+		if rngs != nil {
+			bc = c.ForkBranch(c.Tape, c.Rec, rngs[i], c.Eng)
+		}
+		feats[i] = enc.Encode(bc, n.inputFor(b, n.Modalities[i]))
+	}
+	return feats
+}
+
+// encodeParallel runs one goroutine per encoder branch and joins
+// deterministically in fixed modality order.
+func (n *Network) encodeParallel(c *ops.Ctx, b *data.Batch) []*ops.Var {
+	nb := len(n.Encoders)
+	branchActivity.parallelForwards.Add(1)
+	branchActivity.branchesLaunched.Add(int64(nb))
+	maxAtomic(&branchActivity.maxBranches, int64(nb))
+
+	engines := engine.ForBranches(c.Engine(), nb)
+	rngs := n.branchRNGs(c)
+	// Inputs are assembled on the coordinator: batch map reads and Var
+	// wrapping stay single-goroutine, in modality order.
+	inputs := make([]models.Input, nb)
+	for i, m := range n.Modalities {
+		inputs[i] = n.inputFor(b, m)
+	}
+	var shards []*trace.Shard
+	if c.Rec != nil {
+		shards = make([]*trace.Shard, nb)
+		for i := range shards {
+			shards[i] = &trace.Shard{}
+		}
+	}
+	var tapes []*autograd.Tape
+	if c.Tape != nil {
+		tapes = make([]*autograd.Tape, nb)
+		for i := range tapes {
+			tapes[i] = autograd.NewTape()
+		}
+	}
+
+	// Bound how many branches compute at once by the engine worker
+	// budget: with W workers and B branches, min(B, W) branches run
+	// concurrently on engines of max(1, W/B) workers each, so branch ×
+	// kernel parallelism never exceeds the -compute-workers budget even
+	// when branches outnumber workers (a 1-worker budget degrades to one
+	// branch at a time — same results, no oversubscription).
+	maxConc := c.Engine().Workers()
+
+	feats := make([]*ops.Var, nb)
+	firstPanic, panicVal := runLimited(nb, maxConc, func(i int) {
+		var rec ops.Recorder
+		if shards != nil {
+			rec = shards[i]
+		}
+		var tape *autograd.Tape
+		if tapes != nil {
+			tape = tapes[i]
+		}
+		var rng *tensor.RNG
+		if rngs != nil {
+			rng = rngs[i]
+		}
+		bc := c.ForkBranch(tape, rec, rng, engines[i])
+		setScope(bc, StageEncoder, n.Modalities[i])
+		feats[i] = n.Encoders[i].Encode(bc, inputs[i])
+	})
+
+	// Deterministic join, panic-equivalent to the sequential loop: the
+	// branches a sequential run would have touched before the first
+	// panic — every earlier branch plus the panicking branch's partial
+	// events — are merged; later branches (which sequential execution
+	// would never have started) are dropped.
+	joined := nb
+	if firstPanic >= 0 {
+		joined = firstPanic + 1
+	}
+	// Trace shards replay in fixed modality order, reproducing the
+	// sequential recorder event sequence exactly.
+	if c.Rec != nil {
+		for _, s := range shards[:joined] {
+			s.Replay(c.Rec)
+		}
+	}
+	// The main tape gets one join step covering every branch segment.
+	// It is appended before fusion records anything, so Backward reaches
+	// it after the fusion steps have seeded every branch's feature
+	// gradient; the segments touch disjoint variables and replay
+	// concurrently on their branch engines.
+	if tapes != nil && tapedSteps(tapes[:joined]) > 0 {
+		join := tapes[:joined]
+		c.Tape.Append(func() {
+			branchActivity.parallelBackwards.Add(1)
+			if _, p := runLimited(len(join), maxConc, func(i int) { join[i].Replay() }); p != nil {
+				panic(p)
+			}
+		})
+	}
+	if firstPanic >= 0 {
+		// Re-raise the first branch panic in modality order — the
+		// panic a sequential run would have surfaced.
+		panic(panicVal)
+	}
+	return feats
+}
+
+// tapedSteps sums the recorded backward steps across branch tapes
+// (abstract batches tape nothing; skip the join step entirely then).
+func tapedSteps(tapes []*autograd.Tape) int {
+	total := 0
+	for _, t := range tapes {
+		total += t.Len()
+	}
+	return total
+}
+
+// runLimited runs fn(0..n-1) on n goroutines with at most maxConc
+// executing fn at once (the worker-budget bound shared by branch
+// forward and backward replay), waits for all of them, and returns the
+// index and value of the lowest-indexed panic (-1, nil if none).
+func runLimited(n, maxConc int, fn func(i int)) (int, any) {
+	if maxConc < 1 {
+		maxConc = 1
+	}
+	if maxConc > n {
+		maxConc = n
+	}
+	slots := make(chan struct{}, maxConc)
+	panics := make([]any, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			slots <- struct{}{}
+			defer func() { <-slots }()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+				}
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			return i, p
+		}
+	}
+	return -1, nil
+}
+
+// branchesIndependent reports whether no parameter is shared between
+// two encoder branches — the precondition for replaying branch backward
+// segments concurrently (shared parameters would make two segments race
+// on one gradient tensor). It runs only on taped forwards, where its
+// cost disappears under the backward math it guards.
+func (n *Network) branchesIndependent() bool {
+	seen := make(map[*ops.Var]int, 64)
+	for i, enc := range n.Encoders {
+		for _, p := range enc.Params() {
+			if owner, ok := seen[p]; ok && owner != i {
+				return false
+			}
+			seen[p] = i
+		}
+	}
+	return true
+}
+
+// maxAtomic raises a monotone atomic maximum.
+func maxAtomic(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// branchActivity counts executor work for /v1/stats.
+var branchActivity struct {
+	parallelForwards   atomic.Int64
+	sequentialForwards atomic.Int64
+	branchesLaunched   atomic.Int64
+	maxBranches        atomic.Int64
+	parallelBackwards  atomic.Int64
+}
+
+// BranchActivity is a snapshot of branch-executor counters.
+type BranchActivity struct {
+	// ParallelForwards counts Forward calls that ran their encoder
+	// branches concurrently; SequentialForwards counts the reference
+	// loop (single-branch networks included).
+	ParallelForwards   int64 `json:"parallel_forwards"`
+	SequentialForwards int64 `json:"sequential_forwards"`
+	// BranchesLaunched is the total branch goroutines started;
+	// MaxBranches is the widest join seen.
+	BranchesLaunched int64 `json:"branches_launched"`
+	MaxBranches      int64 `json:"max_branches"`
+	// ParallelBackwards counts join steps replayed during Backward.
+	ParallelBackwards int64 `json:"parallel_backwards"`
+}
+
+// BranchStats snapshots the process-wide branch-executor counters.
+func BranchStats() BranchActivity {
+	return BranchActivity{
+		ParallelForwards:   branchActivity.parallelForwards.Load(),
+		SequentialForwards: branchActivity.sequentialForwards.Load(),
+		BranchesLaunched:   branchActivity.branchesLaunched.Load(),
+		MaxBranches:        branchActivity.maxBranches.Load(),
+		ParallelBackwards:  branchActivity.parallelBackwards.Load(),
+	}
+}

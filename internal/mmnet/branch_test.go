@@ -1,0 +1,316 @@
+package mmnet_test
+
+import (
+	"testing"
+
+	"mmbench/internal/autograd"
+	"mmbench/internal/data"
+	"mmbench/internal/device"
+	"mmbench/internal/engine"
+	"mmbench/internal/fusion"
+	"mmbench/internal/mmnet"
+	"mmbench/internal/models"
+	"mmbench/internal/ops"
+	"mmbench/internal/tensor"
+	"mmbench/internal/trace"
+	"mmbench/internal/train"
+	"mmbench/internal/workloads"
+)
+
+// branchCases covers 1, 2, 3 and 4 encoder branches: a uni-modal
+// baseline, AV-MNIST (two LeNets), CMU-MOSEI (transformer with dropout
+// + two LSTMs — exercises the per-branch RNG streams), and the
+// four-modality medical segmentation workload.
+var branchCases = []struct {
+	name, workload, variant string
+	branches                int
+}{
+	{"uni1", "avmnist", "uni:image", 1},
+	{"avmnist2", "avmnist", "concat", 2},
+	{"mosei3", "mosei", "concat", 3},
+	{"medseg4", "medseg", "concat", 4},
+}
+
+// TestBranchParallelForwardBitwise runs the same eager forward twice —
+// sequential reference vs modality-parallel — and requires bitwise
+// identical outputs.
+func TestBranchParallelForwardBitwise(t *testing.T) {
+	for _, tc := range branchCases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := workloads.Build(tc.workload, tc.variant, false, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := n.NumModalities(); got != tc.branches {
+				t.Fatalf("workload has %d branches, case expects %d", got, tc.branches)
+			}
+			b := n.Gen.Batch(tensor.NewRNG(11), 4)
+			// An explicit 4-worker engine keeps branches genuinely
+			// concurrent (the executor bounds overlap by the worker
+			// budget) even on a single-CPU host, so -race sees the
+			// real interleavings. Any engine is bitwise-equivalent.
+			eng := engine.New(4)
+			defer eng.Close()
+			seq := n.Forward(&ops.Ctx{SequentialBranches: true}, b)
+			par := n.Forward(&ops.Ctx{Eng: eng}, b)
+			sd, pd := seq.Value.Data(), par.Value.Data()
+			if len(sd) != len(pd) {
+				t.Fatalf("output sizes differ: %d vs %d", len(sd), len(pd))
+			}
+			for i := range sd {
+				if sd[i] != pd[i] {
+					t.Fatalf("output[%d]: parallel %v != sequential %v", i, pd[i], sd[i])
+				}
+			}
+		})
+	}
+}
+
+// trainSteps runs k Adam steps on n with the given branch schedule and
+// returns nothing; determinism is checked by comparing n's parameters.
+// The parallel schedule gets a 4-worker engine so branch forward and
+// backward genuinely overlap under -race even on a single-CPU host.
+func trainSteps(t *testing.T, n *mmnet.Network, sequential bool, k int) {
+	t.Helper()
+	opt := train.NewAdam(1e-3)
+	rng := tensor.NewRNG(5)
+	params := n.Params()
+	var eng *engine.Engine
+	if !sequential {
+		eng = engine.New(4)
+		defer eng.Close()
+	}
+	for s := 0; s < k; s++ {
+		b := n.Gen.Batch(rng.Split(int64(s)), 4)
+		tape := autograd.NewTape()
+		c := &ops.Ctx{Tape: tape, Training: true, RNG: rng, Eng: eng, SequentialBranches: sequential}
+		out := n.Forward(c, b)
+		loss := n.Loss(c, out, b)
+		tape.Backward(loss)
+		opt.Step(params)
+	}
+}
+
+// TestBranchParallelTrainingBitwise trains two identically-initialized
+// networks — one sequential, one branch-parallel — and requires every
+// parameter to stay bitwise identical. This covers the concurrent
+// branch backward replay and the per-branch dropout RNG streams.
+func TestBranchParallelTrainingBitwise(t *testing.T) {
+	for _, tc := range branchCases {
+		t.Run(tc.name, func(t *testing.T) {
+			nSeq, err := workloads.Build(tc.workload, tc.variant, false, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nPar, err := workloads.Build(tc.workload, tc.variant, false, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trainSteps(t, nSeq, true, 2)
+			trainSteps(t, nPar, false, 2)
+			ps, pp := nSeq.Params(), nPar.Params()
+			if len(ps) != len(pp) {
+				t.Fatalf("param counts differ: %d vs %d", len(ps), len(pp))
+			}
+			for i := range ps {
+				sd, pd := ps[i].Value.Data(), pp[i].Value.Data()
+				for j := range sd {
+					if sd[j] != pd[j] {
+						t.Fatalf("param %d elem %d: parallel %v != sequential %v",
+							i, j, pd[j], sd[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBranchParallelTraceDeterminism profiles the same analytic forward
+// under both schedules and requires the priced timelines — kernel
+// events with (stage, modality, stream) attribution, host segments and
+// the modeled wall clock — to match exactly after the concurrent merge.
+func TestBranchParallelTraceDeterminism(t *testing.T) {
+	for _, tc := range branchCases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := workloads.Build(tc.workload, tc.variant, true, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := n.Gen.AbstractBatch(4)
+			run := func(sequential bool) *trace.Trace {
+				builder := trace.NewBuilder(device.RTX2080Ti(), n.Modalities)
+				n.Forward(&ops.Ctx{Rec: builder, SequentialBranches: sequential}, b)
+				return builder.Finish()
+			}
+			want, got := run(true), run(false)
+			if got.Wall != want.Wall {
+				t.Fatalf("wall %v != sequential %v", got.Wall, want.Wall)
+			}
+			if len(got.Kernels) != len(want.Kernels) {
+				t.Fatalf("%d kernels, want %d", len(got.Kernels), len(want.Kernels))
+			}
+			for i := range got.Kernels {
+				if got.Kernels[i] != want.Kernels[i] {
+					t.Fatalf("kernel %d differs:\n got %+v\nwant %+v",
+						i, got.Kernels[i], want.Kernels[i])
+				}
+			}
+			if len(got.Hosts) != len(want.Hosts) {
+				t.Fatalf("%d host events, want %d", len(got.Hosts), len(want.Hosts))
+			}
+			for i := range got.Hosts {
+				if got.Hosts[i] != want.Hosts[i] {
+					t.Fatalf("host %d differs: %+v vs %+v", i, got.Hosts[i], want.Hosts[i])
+				}
+			}
+		})
+	}
+}
+
+// panicEncoder wraps an Encoder and panics during Encode.
+type panicEncoder struct{ models.Encoder }
+
+func (p panicEncoder) Encode(*ops.Ctx, models.Input) *ops.Var {
+	panic("boom")
+}
+
+// TestForwardScopeResetOnPanic pins the regression: a panicking encoder
+// must not leave the recorder scope dirty, or a recovered benchmark run
+// would attribute later kernels to the wrong (stage, modality).
+func TestForwardScopeResetOnPanic(t *testing.T) {
+	recs := map[bool]*scopeRecorder{}
+	for _, sequential := range []bool{true, false} {
+		n := buildNet(t)
+		n.Encoders[1] = panicEncoder{n.Encoders[1]}
+		rec := &scopeRecorder{}
+		recs[sequential] = rec
+		c := &ops.Ctx{Rec: rec, SequentialBranches: sequential}
+		b := n.Gen.Batch(tensor.NewRNG(1), 2)
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatal("expected the encoder panic to propagate")
+				} else if r != "boom" {
+					t.Fatalf("panic value %v, want the original", r)
+				}
+			}()
+			n.Forward(c, b)
+		}()
+		if rec.stage != "" || rec.modality != "" {
+			t.Fatalf("sequential=%v: scope left dirty at (%q, %q)",
+				sequential, rec.stage, rec.modality)
+		}
+	}
+	// A recovering caller must observe the same recorded prefix under
+	// either schedule: every branch before the panic, nothing after.
+	seq, par := recs[true], recs[false]
+	if len(seq.stages) == 0 {
+		t.Fatal("sequential run recorded nothing before the panic")
+	}
+	if len(par.stages) != len(seq.stages) {
+		t.Fatalf("recorded %d kernels under parallel, %d under sequential",
+			len(par.stages), len(seq.stages))
+	}
+	for i := range seq.stages {
+		if par.stages[i] != seq.stages[i] || par.modalities[i] != seq.modalities[i] {
+			t.Fatalf("kernel %d attribution differs: (%s,%s) vs (%s,%s)", i,
+				par.stages[i], par.modalities[i], seq.stages[i], seq.modalities[i])
+		}
+	}
+}
+
+// TestBranchStatsCounts checks the executor counters move and a
+// taped parallel forward records a backward join.
+func TestBranchStatsCounts(t *testing.T) {
+	before := mmnet.BranchStats()
+	n := buildNet(t) // avmnist/concat: 2 branches
+	b := n.Gen.Batch(tensor.NewRNG(2), 2)
+
+	tape := autograd.NewTape()
+	c := &ops.Ctx{Tape: tape}
+	out := n.Forward(c, b)
+	loss := n.Loss(c, out, b)
+	tape.Backward(loss)
+
+	n.Forward(&ops.Ctx{SequentialBranches: true}, b)
+
+	after := mmnet.BranchStats()
+	if after.ParallelForwards <= before.ParallelForwards {
+		t.Fatal("parallel forward not counted")
+	}
+	if after.BranchesLaunched < before.BranchesLaunched+2 {
+		t.Fatal("branch launches not counted")
+	}
+	if after.MaxBranches < 2 {
+		t.Fatalf("max branches %d, want >= 2", after.MaxBranches)
+	}
+	if after.ParallelBackwards <= before.ParallelBackwards {
+		t.Fatal("parallel backward join not counted")
+	}
+	if after.SequentialForwards <= before.SequentialForwards {
+		t.Fatal("sequential forward not counted")
+	}
+}
+
+// TestSharedParamsFallBackToSequential builds a two-branch network
+// whose branches share one encoder instance (and thus one parameter
+// set), which must force the sequential fallback: parallel backward
+// replay would race on the shared gradient tensors.
+func TestSharedParamsFallBackToSequential(t *testing.T) {
+	g := tensor.NewRNG(3)
+	enc := models.NewMLPEncoder(g.Split(1), 8, 16)
+	specs := []data.ModalitySpec{
+		{Name: "m0", Kind: data.Dense, Shape: []int{8}, RawBytes: 32},
+		{Name: "m1", Kind: data.Dense, Shape: []int{8}, RawBytes: 32},
+	}
+	gen := data.NewGenerator("shared", specs, data.Classify, 2, 3)
+	fus, err := fusion.New("concat", g.Split(2), []int{16, 16}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &mmnet.Network{
+		Name:       "shared/test",
+		Modalities: []string{"m0", "m1"},
+		Encoders:   []models.Encoder{enc, enc}, // same instance twice
+		Fusion:     fus,
+		Head:       models.NewClassifierHead(g.Split(3), 16, 16, 2),
+		Task:       data.Classify,
+		Gen:        gen,
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := gen.Batch(tensor.NewRNG(4), 2)
+
+	// Untaped forwards only read parameters, so sharing is harmless and
+	// the parallel path stays eligible.
+	before := mmnet.BranchStats()
+	n.Forward(&ops.Ctx{}, b)
+	after := mmnet.BranchStats()
+	if after.ParallelForwards <= before.ParallelForwards {
+		t.Fatal("untaped shared-parameter forward should still run in parallel")
+	}
+
+	// A taped forward must fall back: concurrent branch backward replay
+	// would race on the shared gradient tensors. The check runs per
+	// call, so rewiring Encoders after a previous Forward is seen.
+	before = mmnet.BranchStats()
+	tape := autograd.NewTape()
+	c := &ops.Ctx{Tape: tape}
+	out := n.Forward(c, b)
+	loss := n.Loss(c, out, b)
+	tape.Backward(loss)
+	after = mmnet.BranchStats()
+	if after.ParallelForwards != before.ParallelForwards {
+		t.Fatal("taped shared-parameter branches must not run in parallel")
+	}
+	if after.SequentialForwards <= before.SequentialForwards {
+		t.Fatal("sequential fallback not taken")
+	}
+	for _, p := range n.Params() {
+		if p.Grad != nil && p.Grad.MaxAbs() > 0 {
+			return // gradients flowed through the fallback
+		}
+	}
+	t.Fatal("no gradients reached the shared encoder")
+}

@@ -107,6 +107,14 @@ type Barrierer interface {
 // Forward runs the three-stage network over a batch and returns the task
 // output (logits, regression values or mask logits).
 //
+// The per-modality encoder branches are independent until the fusion
+// join, so by default they execute concurrently — one goroutine per
+// branch, each with an isolated tape, recorder shard, RNG stream and
+// engine worker budget — and join deterministically in fixed modality
+// order (see branch.go). Outputs, gradients and recorded traces are
+// bitwise identical to the sequential reference loop, selected by
+// Ctx.SequentialBranches or the -branch-parallel=false flag.
+//
 // When a recorder is attached, Forward also models the synchronization
 // behaviour the paper characterizes: the fusion stage waits on every
 // modality stream (modality synchronization), and each modality's learned
@@ -114,11 +122,11 @@ type Barrierer interface {
 // the intermediate-data operations that inflate CPU+Runtime time for
 // multi-modal networks).
 func (n *Network) Forward(c *ops.Ctx, b *data.Batch) *ops.Var {
-	feats := make([]*ops.Var, len(n.Encoders))
-	for i, enc := range n.Encoders {
-		setScope(c, StageEncoder, n.Modalities[i])
-		feats[i] = enc.Encode(c, n.inputFor(b, n.Modalities[i]))
-	}
+	// Reset the recorder scope even if an encoder (or fusion/head op)
+	// panics: a recovered benchmark run must not attribute later kernels
+	// to this network's last (stage, modality) scope.
+	defer setScope(c, "", "")
+	feats := n.encodeBranches(c, b)
 	setScope(c, StageFusion, "")
 	if c.Rec != nil {
 		if bar, ok := c.Rec.(Barrierer); ok {
@@ -139,9 +147,7 @@ func (n *Network) Forward(c *ops.Ctx, b *data.Batch) *ops.Var {
 		// Fused representation handoff to the head (one host-side op).
 		c.Rec.Host("stage_handoff", 0, fused.Value.Bytes(), 1)
 	}
-	out := n.Head.Forward(c, fused)
-	setScope(c, "", "")
-	return out
+	return n.Head.Forward(c, fused)
 }
 
 // Loss computes the task loss for a forward output.

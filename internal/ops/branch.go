@@ -1,0 +1,61 @@
+package ops
+
+import (
+	"sync/atomic"
+
+	"mmbench/internal/autograd"
+	"mmbench/internal/engine"
+	"mmbench/internal/tensor"
+)
+
+// Modality-parallel branch execution support.
+//
+// The branch executor in internal/mmnet runs per-modality encoder
+// subgraphs concurrently, one goroutine per branch. Each branch receives
+// a forked Ctx whose tape, recorder, RNG and engine are isolated from
+// the parent, so the concurrently-running operators never share mutable
+// state; the executor merges the per-branch artifacts deterministically
+// at the modality-sync join. The toggle mirrors the attention-path
+// toggle: a process-wide default set from the -branch-parallel CLI flag
+// plus a per-context override.
+
+// sequentialBranchesDefault is the process-wide branch-execution toggle,
+// set from the -branch-parallel CLI flag (mirrors
+// SetDefaultUnfusedAttention). False — modality-parallel branches — is
+// the default; outputs are bitwise identical either way.
+var sequentialBranchesDefault atomic.Bool
+
+// SetDefaultSequentialBranches switches the process default between
+// modality-parallel branch execution (false) and the sequential
+// reference loop (true). Meant for process start-up (CLI flag parsing).
+func SetDefaultSequentialBranches(on bool) { sequentialBranchesDefault.Store(on) }
+
+// DefaultSequentialBranches reports the process-wide toggle.
+func DefaultSequentialBranches() bool { return sequentialBranchesDefault.Load() }
+
+// ParallelBranches reports whether this context should run encoder
+// branches concurrently: neither the context override nor the process
+// default asks for the sequential reference loop.
+func (c *Ctx) ParallelBranches() bool {
+	return !c.SequentialBranches && !sequentialBranchesDefault.Load()
+}
+
+// Engine returns the compute engine this context's kernels execute on
+// (the process default when Eng is nil). The branch executor splits
+// this engine's worker budget across active branches.
+func (c *Ctx) Engine() *engine.Engine { return c.engine() }
+
+// ForkBranch returns a child context for one concurrently-executing
+// encoder branch: training mode and operator toggles are inherited,
+// while the tape, recorder, RNG and engine are replaced with the
+// branch-isolated instances supplied by the executor. Passing the
+// parent's own tape/recorder/engine is valid for the sequential
+// reference path.
+func (c *Ctx) ForkBranch(tape *autograd.Tape, rec Recorder, rng *tensor.RNG, eng *engine.Engine) *Ctx {
+	child := *c
+	child.Tape = tape
+	child.Rec = rec
+	child.RNG = rng
+	child.Eng = eng
+	return &child
+}

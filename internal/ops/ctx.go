@@ -51,6 +51,12 @@ type Ctx struct {
 	// -unfused-attention flag; see FusedAttention). The fused and
 	// unfused paths agree within 1e-5, not bitwise.
 	UnfusedAttention bool
+	// SequentialBranches forces the sequential encoder-branch loop for
+	// this context, overriding the process default (the -branch-parallel
+	// flag; see ParallelBranches). Branch-parallel and sequential
+	// execution are bitwise identical, so this is a scheduling choice,
+	// never a numerics one.
+	SequentialBranches bool
 }
 
 // Infer returns a minimal inference context with no tape or recorder.

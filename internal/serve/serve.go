@@ -12,15 +12,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mmbench"
 	"mmbench/internal/engine"
 	"mmbench/internal/jobs"
+	"mmbench/internal/mmnet"
 	"mmbench/internal/ops"
 	"mmbench/internal/resultcache"
 )
@@ -47,6 +50,11 @@ type Server struct {
 	latencies []float64 // ring of recent /v1/run service latencies (s)
 	latNext   int
 	latFull   bool
+
+	// encodeErrors counts response-encoding failures (client gone,
+	// truncated write, unencodable value) so they are observable in
+	// /v1/stats instead of silently dropped.
+	encodeErrors atomic.Uint64
 }
 
 // latencyWindow bounds the percentile reservoir.
@@ -85,20 +93,27 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Close drains the scheduler.
 func (s *Server) Close(ctx context.Context) error { return s.pool.Shutdown(ctx) }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v as the response body. Encode failures after the
+// status line has been written cannot be reported to the client, but
+// they must not vanish either: the client saw a truncated (or empty)
+// body, so the failure is logged and counted for /v1/stats.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.encodeErrors.Add(1)
+		log.Printf("serve: encoding %s %s response: %v", r.Method, r.URL.Path, err)
+	}
 }
 
 type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	s.writeJSON(w, r, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
 // decode parses a bounded JSON request body, rejecting unknown fields.
@@ -151,12 +166,12 @@ func (s *Server) percentiles() (p50, p95, p99 float64, n int) {
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	s.countRequest()
-	writeJSON(w, http.StatusOK, map[string]any{"workloads": mmbench.Workloads()})
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"workloads": mmbench.Workloads()})
 }
 
 func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 	s.countRequest()
-	writeJSON(w, http.StatusOK, map[string]any{"devices": mmbench.Devices()})
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"devices": mmbench.Devices()})
 }
 
 // RunRequest is the POST /v1/run body. PaperScale defaults to true (the
@@ -191,7 +206,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.countRequest()
 	var req RunRequest
 	if err := decode(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad run request: %v", err)
+		s.writeErr(w, r, http.StatusBadRequest, "bad run request: %v", err)
 		return
 	}
 	begin := time.Now()
@@ -199,11 +214,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The model is deterministic: a failed run is a config problem,
 		// not a transient one.
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.recordLatency(time.Since(begin))
-	writeJSON(w, http.StatusOK, map[string]any{"report": rep})
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"report": rep})
 }
 
 // SweepRequest is the POST /v1/sweep body.
@@ -219,7 +234,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.countRequest()
 	var req SweepRequest
 	if err := decode(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		s.writeErr(w, r, http.StatusBadRequest, "bad sweep request: %v", err)
 		return
 	}
 	fns, assemble, err := mmbench.SweepJob(mmbench.SweepConfig{
@@ -230,19 +245,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Tasks:    req.Tasks,
 	}, s.runner.Run)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	job, err := s.pool.SubmitGroupThen(fns, assemble)
 	if err != nil {
 		if errors.Is(err, jobs.ErrShutdown) {
-			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			s.writeErr(w, r, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		s.writeErr(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{
+	s.writeJSON(w, r, http.StatusAccepted, map[string]any{
 		"job_id": job.ID(),
 		"status": string(job.Snapshot().Status),
 		"href":   "/v1/jobs/" + job.ID(),
@@ -265,7 +280,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := s.pool.Get(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no such job %q", id)
+		s.writeErr(w, r, http.StatusNotFound, "no such job %q", id)
 		return
 	}
 	snap := job.Snapshot()
@@ -280,7 +295,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if snap.Err != nil {
 		resp.Error = snap.Err.Error()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 // Stats is the GET /v1/stats body.
@@ -288,11 +303,13 @@ type Stats struct {
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Requests      uint64         `json:"requests"`
 	ThroughputRPS float64        `json:"throughput_rps"`
+	EncodeErrors  uint64         `json:"encode_errors"`
 	Latency       LatencyStats   `json:"service_latency_ms"`
 	Cache         CacheStats     `json:"cache"`
 	Jobs          map[string]int `json:"jobs"`
 	Engine        EngineStats    `json:"engine"`
 	Attention     AttentionStats `json:"attention"`
+	Branches      BranchStats    `json:"branches"`
 }
 
 // LatencyStats are percentiles over the recent /v1/run window.
@@ -310,7 +327,9 @@ type CacheStats struct {
 }
 
 // EngineStats extends the compute-engine counters (eager-kernel tasks
-// executed, buffer-pool traffic) with the derived pool hit rate. Jobs
+// executed, buffer-pool traffic) with the derived pool hit rate. The
+// counters cover the default engine plus every branch sub-engine, so
+// kernels executed inside parallel encoder branches are included. Jobs
 // and compute share one parallelism budget — see cmd/mmbench serve's
 // -compute-workers flag.
 type EngineStats struct {
@@ -328,6 +347,20 @@ type AttentionStats struct {
 	ops.AttentionActivity
 }
 
+// BranchStats reports the modality-parallel branch executor: the
+// process default toggle, forward/backward join counters, and the
+// engine activity of the branch sub-engines (whose worker budget is
+// split from the main -compute-workers budget) — see cmd/mmbench
+// serve's -branch-parallel flag.
+type BranchStats struct {
+	// Parallel is the process default branch schedule.
+	Parallel bool `json:"parallel"`
+	mmnet.BranchActivity
+	// Engine is the branch-only subset of the top-level engine block:
+	// work executed on the branch sub-engines.
+	Engine engine.Stats `json:"engine"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.countRequest()
 	uptime := time.Since(s.start).Seconds()
@@ -336,12 +369,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	p50, p95, p99, n := s.percentiles()
 	cs := s.runner.Stats()
-	es := engine.Default().Stats()
+	es := engine.TotalStats()
 	counts := s.pool.Counts()
-	writeJSON(w, http.StatusOK, Stats{
+	s.writeJSON(w, r, http.StatusOK, Stats{
 		UptimeSeconds: uptime,
 		Requests:      requests,
 		ThroughputRPS: float64(requests) / uptime,
+		EncodeErrors:  s.encodeErrors.Load(),
 		Latency: LatencyStats{
 			Samples: n,
 			P50:     p50 * 1e3,
@@ -353,6 +387,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Attention: AttentionStats{
 			Fused:             !ops.DefaultUnfusedAttention(),
 			AttentionActivity: ops.AttentionStats(),
+		},
+		Branches: BranchStats{
+			Parallel:       !ops.DefaultSequentialBranches(),
+			BranchActivity: mmnet.BranchStats(),
+			Engine:         engine.BranchEngineStats(),
 		},
 		Jobs: map[string]int{
 			"queued":  counts.Queued,

@@ -381,3 +381,82 @@ func TestStatsReportsAttention(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsReportsBranches drives an eager multi-modal run and checks
+// /v1/stats reports the branch-executor toggle, join counters and the
+// branch sub-engines' activity.
+func TestStatsReportsBranches(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var before Stats
+	getJSON(t, ts.URL+"/v1/stats", &before)
+	if !before.Branches.Parallel {
+		t.Fatal("branch-parallel must be the default toggle state")
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/run",
+		`{"workload":"mosei","batch":4,"paper_scale":false,"eager":true,"seed":3}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eager run status %d", resp.StatusCode)
+	}
+
+	var stats Stats
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Branches.ParallelForwards <= before.Branches.ParallelForwards {
+		t.Fatalf("parallel forwards did not advance: before %d after %d",
+			before.Branches.ParallelForwards, stats.Branches.ParallelForwards)
+	}
+	if stats.Branches.BranchesLaunched < before.Branches.BranchesLaunched+3 {
+		t.Fatalf("mosei run should have launched >= 3 branches: before %d after %d",
+			before.Branches.BranchesLaunched, stats.Branches.BranchesLaunched)
+	}
+	if stats.Branches.MaxBranches < 3 {
+		t.Fatalf("max branches %d, want >= 3", stats.Branches.MaxBranches)
+	}
+	if stats.Branches.Engine.Tasks <= before.Branches.Engine.Tasks {
+		t.Fatalf("branch sub-engines executed no kernels: %+v", stats.Branches.Engine)
+	}
+	// The top-level engine block includes the branch subset.
+	if stats.Engine.Tasks < stats.Branches.Engine.Tasks {
+		t.Fatalf("engine block (%d tasks) must cover branch engines (%d tasks)",
+			stats.Engine.Tasks, stats.Branches.Engine.Tasks)
+	}
+
+	// The JSON wire format must expose the documented field names.
+	var raw map[string]any
+	getJSON(t, ts.URL+"/v1/stats", &raw)
+	if _, ok := raw["encode_errors"]; !ok {
+		t.Fatalf("stats JSON missing encode_errors: %v", raw)
+	}
+	br, ok := raw["branches"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats JSON missing branches block: %v", raw)
+	}
+	for _, field := range []string{"parallel", "parallel_forwards", "sequential_forwards",
+		"branches_launched", "max_branches", "parallel_backwards", "engine"} {
+		if _, ok := br[field]; !ok {
+			t.Fatalf("branch stats JSON missing %q: %v", field, br)
+		}
+	}
+}
+
+// TestWriteJSONCountsEncodeFailures pins the satellite fix: a response
+// that cannot be encoded must be counted (and logged), not silently
+// dropped.
+func TestWriteJSONCountsEncodeFailures(t *testing.T) {
+	s := New(Options{Workers: 1})
+	t.Cleanup(func() { s.Close(context.Background()) })
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	s.writeJSON(rec, req, http.StatusOK, map[string]any{"bad": func() {}})
+	if got := s.encodeErrors.Load(); got != 1 {
+		t.Fatalf("encode errors %d, want 1", got)
+	}
+	var stats Stats
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.EncodeErrors != 1 {
+		t.Fatalf("stats encode_errors %d, want 1", stats.EncodeErrors)
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import "mmbench/internal/kernels"
+
+// Shard is a per-branch event buffer for concurrent forward execution.
+//
+// Builder is a single-goroutine structure: its host clock, stream
+// clocks and event slices have no synchronization, and its timeline
+// semantics (dispatch advances the host clock in program order) only
+// make sense for a serial event sequence. When the branch executor runs
+// encoder branches concurrently, each branch therefore records into its
+// own Shard — scope changes, kernel launches and host segments, in
+// branch-program order — and the executor replays the shards into the
+// real recorder in fixed modality order at the join. The merged event
+// sequence is exactly the one sequential execution would have produced,
+// so the priced timeline, (stage, modality) attribution, memory
+// decomposition and every downstream metrics aggregation are bitwise
+// identical to a sequential run.
+//
+// A Shard implements the ops.Recorder contract (Kernel, Host) plus the
+// mmnet.Scoper contract (SetScope) structurally. The zero value is
+// ready to use. A Shard must only be written by one goroutine at a
+// time, and must not be replayed while still being written.
+type Shard struct {
+	events []shardEvent
+}
+
+// shardEvent is one buffered recorder call. kind selects which fields
+// are meaningful.
+type shardEvent struct {
+	kind uint8
+	// eventScope: stage/modality. eventHost: name, flops, bytes, nOps.
+	// eventKernel: spec.
+	spec            kernels.Spec
+	name            string
+	stage, modality string
+	flops, bytes    int64
+	nOps            int
+}
+
+const (
+	eventScope uint8 = iota
+	eventKernel
+	eventHost
+)
+
+// SetScope buffers a (stage, modality) scope change.
+func (s *Shard) SetScope(stage, modality string) {
+	s.events = append(s.events, shardEvent{kind: eventScope, stage: stage, modality: modality})
+}
+
+// Kernel buffers one kernel launch.
+func (s *Shard) Kernel(spec kernels.Spec) {
+	s.events = append(s.events, shardEvent{kind: eventKernel, spec: spec})
+}
+
+// Host buffers one CPU + runtime segment.
+func (s *Shard) Host(name string, flops, bytes int64, nOps int) {
+	s.events = append(s.events, shardEvent{kind: eventHost, name: name, flops: flops, bytes: bytes, nOps: nOps})
+}
+
+// Len returns the number of buffered events.
+func (s *Shard) Len() int { return len(s.events) }
+
+// Sink receives replayed events. ops.Recorder implementations (Builder
+// included) satisfy it structurally.
+type Sink interface {
+	Kernel(spec kernels.Spec)
+	Host(name string, flops, bytes int64, nOps int)
+}
+
+// scopeSink is the optional scope-attribution half of a Sink.
+type scopeSink interface {
+	SetScope(stage, modality string)
+}
+
+// Replay feeds the buffered events into sink in recorded order. Scope
+// events are forwarded only when the sink supports scope attribution,
+// matching how the network's setScope treats a live recorder. The shard
+// keeps its events, so a replay can be repeated (e.g. into several
+// recorders in tests).
+func (s *Shard) Replay(sink Sink) {
+	sc, hasScope := sink.(scopeSink)
+	for i := range s.events {
+		ev := &s.events[i]
+		switch ev.kind {
+		case eventScope:
+			if hasScope {
+				sc.SetScope(ev.stage, ev.modality)
+			}
+		case eventKernel:
+			sink.Kernel(ev.spec)
+		case eventHost:
+			sink.Host(ev.name, ev.flops, ev.bytes, ev.nOps)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"mmbench/internal/device"
+	"mmbench/internal/kernels"
+)
+
+// branchEvents drives one synthetic encoder branch's event stream into
+// rec: a scope change, a host segment, then k kernels.
+func branchEvents(rec interface {
+	SetScope(stage, modality string)
+	Kernel(spec kernels.Spec)
+	Host(name string, flops, bytes int64, nOps int)
+}, modality string, k int) {
+	rec.SetScope("encoder", modality)
+	rec.Host("load:"+modality, 100, 1000, 2)
+	for i := 0; i < k; i++ {
+		rec.Kernel(kernels.GemmSpec("gemm", 8, 8+i, 8))
+	}
+}
+
+// TestShardReplayMatchesSequential fills shards concurrently (one
+// goroutine per branch, as the branch executor does), replays them in
+// fixed modality order, and checks the priced timeline is identical to
+// driving the same events into a Builder sequentially.
+func TestShardReplayMatchesSequential(t *testing.T) {
+	mods := []string{"a", "b", "c", "d"}
+	dev := device.RTX2080Ti()
+
+	seq := NewBuilder(dev, mods)
+	for i, m := range mods {
+		branchEvents(seq, m, 3+i)
+	}
+	seq.SetScope("fusion", "")
+	seq.Barrier("modality_sync")
+	want := seq.Finish()
+
+	shards := make([]*Shard, len(mods))
+	var wg sync.WaitGroup
+	for i := range mods {
+		shards[i] = &Shard{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			branchEvents(shards[i], mods[i], 3+i)
+		}(i)
+	}
+	wg.Wait()
+
+	par := NewBuilder(dev, mods)
+	for _, s := range shards {
+		s.Replay(par)
+	}
+	par.SetScope("fusion", "")
+	par.Barrier("modality_sync")
+	got := par.Finish()
+
+	if got.Wall != want.Wall {
+		t.Fatalf("wall %v != sequential %v", got.Wall, want.Wall)
+	}
+	if len(got.Kernels) != len(want.Kernels) {
+		t.Fatalf("%d kernels, want %d", len(got.Kernels), len(want.Kernels))
+	}
+	for i := range got.Kernels {
+		g, w := got.Kernels[i], want.Kernels[i]
+		if g != w {
+			t.Fatalf("kernel %d differs:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+	if len(got.Hosts) != len(want.Hosts) {
+		t.Fatalf("%d host events, want %d", len(got.Hosts), len(want.Hosts))
+	}
+	for i := range got.Hosts {
+		if got.Hosts[i] != want.Hosts[i] {
+			t.Fatalf("host %d differs: %+v vs %+v", i, got.Hosts[i], want.Hosts[i])
+		}
+	}
+	if got.HostBusy != want.HostBusy || got.TransferSeconds != want.TransferSeconds {
+		t.Fatal("busy accounting differs")
+	}
+	for s, b := range want.StreamBusy {
+		if math.Abs(got.StreamBusy[s]-b) != 0 {
+			t.Fatalf("stream %d busy %v, want %v", s, got.StreamBusy[s], b)
+		}
+	}
+}
+
+// TestShardAttributionPreserved checks (stage, modality) labels survive
+// the buffered round trip per event.
+func TestShardAttributionPreserved(t *testing.T) {
+	sh := &Shard{}
+	sh.SetScope("encoder", "image")
+	sh.Kernel(kernels.GemmSpec("gemm", 4, 4, 4))
+	sh.SetScope("encoder", "audio")
+	sh.Kernel(kernels.GemmSpec("gemm", 4, 4, 4))
+	sh.Host("gather", 0, 64, 1)
+	if sh.Len() != 5 {
+		t.Fatalf("buffered %d events, want 5", sh.Len())
+	}
+
+	b := NewBuilder(device.JetsonNano(), []string{"image", "audio"})
+	sh.Replay(b)
+	tr := b.Finish()
+	if len(tr.Kernels) != 2 {
+		t.Fatalf("%d kernels, want 2", len(tr.Kernels))
+	}
+	if tr.Kernels[0].Modality != "image" || tr.Kernels[1].Modality != "audio" {
+		t.Fatalf("modalities %q/%q", tr.Kernels[0].Modality, tr.Kernels[1].Modality)
+	}
+	if tr.Kernels[0].Stage != "encoder" || tr.Kernels[1].Stage != "encoder" {
+		t.Fatal("stage attribution lost")
+	}
+	if tr.Hosts[0].Modality != "audio" {
+		t.Fatalf("host modality %q, want scope at record time", tr.Hosts[0].Modality)
+	}
+}
+
+// plainSink records Kernel/Host without scope support, checking Replay
+// degrades exactly like a live recorder that is not a Scoper.
+type plainSink struct {
+	kernels int
+	hosts   []string
+}
+
+func (p *plainSink) Kernel(kernels.Spec) { p.kernels++ }
+func (p *plainSink) Host(name string, _, _ int64, _ int) {
+	p.hosts = append(p.hosts, name)
+}
+
+func TestShardReplayWithoutScopeSink(t *testing.T) {
+	sh := &Shard{}
+	sh.SetScope("encoder", "image")
+	sh.Kernel(kernels.GemmSpec("gemm", 4, 4, 4))
+	sh.Host("h", 0, 0, 1)
+	p := &plainSink{}
+	sh.Replay(p) // must not panic on the missing SetScope
+	if p.kernels != 1 || len(p.hosts) != 1 || p.hosts[0] != "h" {
+		t.Fatalf("replay into plain sink: %+v", p)
+	}
+	// Replays are repeatable: the shard keeps its events.
+	p2 := &plainSink{}
+	sh.Replay(p2)
+	if p2.kernels != 1 {
+		t.Fatal("second replay lost events")
+	}
+}
+
+func TestShardZeroValue(t *testing.T) {
+	var sh Shard
+	if sh.Len() != 0 {
+		t.Fatal("zero shard not empty")
+	}
+	sh.Replay(&plainSink{}) // empty replay is a no-op
+	for i := 0; i < 3; i++ {
+		sh.Host(fmt.Sprintf("h%d", i), 0, 0, 1)
+	}
+	if sh.Len() != 3 {
+		t.Fatalf("len %d", sh.Len())
+	}
+}

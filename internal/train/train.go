@@ -110,6 +110,12 @@ type Config struct {
 	// composition instead of the fused streaming-softmax kernel
 	// (default: the process-wide -unfused-attention setting).
 	UnfusedAttention bool
+	// SequentialBranches forces the sequential encoder-branch loop
+	// instead of the modality-parallel branch executor (default: the
+	// process-wide -branch-parallel setting). Training results are
+	// bitwise identical either way: dropout streams are per-branch in
+	// both paths, and branch backward segments are disjoint.
+	SequentialBranches bool
 }
 
 // DefaultConfig returns a quick-converging configuration for the planted
@@ -152,7 +158,11 @@ func Fit(n *mmnet.Network, cfg Config) Result {
 		for s := 0; s < cfg.StepsPerEpoch; s++ {
 			b := n.Gen.Batch(rng.Split(int64(e*1000+s)), cfg.BatchSize)
 			tape := autograd.NewTape()
-			c := &ops.Ctx{Tape: tape, Training: true, RNG: rng, Eng: cfg.Engine, UnfusedAttention: cfg.UnfusedAttention}
+			c := &ops.Ctx{
+				Tape: tape, Training: true, RNG: rng, Eng: cfg.Engine,
+				UnfusedAttention:   cfg.UnfusedAttention,
+				SequentialBranches: cfg.SequentialBranches,
+			}
 			out := n.Forward(c, b)
 			loss := n.Loss(c, out, b)
 			tape.Backward(loss)
@@ -160,26 +170,31 @@ func Fit(n *mmnet.Network, cfg Config) Result {
 			lastLoss = float64(loss.Value.At(0))
 		}
 	}
-	eval := EvaluateWith(n, cfg.Engine, cfg.UnfusedAttention, tensor.NewRNG(cfg.Seed+7777), 8, cfg.BatchSize)
+	eval := EvaluateWith(n, cfg, tensor.NewRNG(cfg.Seed+7777), 8, cfg.BatchSize)
 	eval.FinalLoss = lastLoss
 	return eval
 }
 
 // Evaluate measures the task metric over nBatches fresh batches on the
-// default compute engine and attention path.
+// default compute engine, attention path and branch schedule.
 func Evaluate(n *mmnet.Network, rng *tensor.RNG, nBatches, batchSize int) Result {
-	return EvaluateWith(n, nil, false, rng, nBatches, batchSize)
+	return EvaluateWith(n, Config{}, rng, nBatches, batchSize)
 }
 
-// EvaluateWith is Evaluate on an explicit compute engine (nil =
-// default) and attention path (unfusedAttn mirrors
-// Config.UnfusedAttention, so a fused-vs-unfused A/B evaluation does
-// not need the process-wide toggle).
-func EvaluateWith(n *mmnet.Network, eng *engine.Engine, unfusedAttn bool, rng *tensor.RNG, nBatches, batchSize int) Result {
+// EvaluateWith is Evaluate under an explicit execution configuration:
+// cfg's Engine (nil = default), UnfusedAttention and SequentialBranches
+// select the compute engine, attention path and branch schedule, so an
+// A/B evaluation does not need the process-wide toggles. The schedule
+// fields of cfg (epochs, steps, LR) are ignored.
+func EvaluateWith(n *mmnet.Network, cfg Config, rng *tensor.RNG, nBatches, batchSize int) Result {
 	var metric float64
 	for i := 0; i < nBatches; i++ {
 		b := n.Gen.Batch(rng.Split(int64(i)), batchSize)
-		out := n.Forward(&ops.Ctx{Eng: eng, UnfusedAttention: unfusedAttn}, b)
+		out := n.Forward(&ops.Ctx{
+			Eng:                cfg.Engine,
+			UnfusedAttention:   cfg.UnfusedAttention,
+			SequentialBranches: cfg.SequentialBranches,
+		}, b)
 		metric += BatchMetric(n.Task, out, b)
 	}
 	return Result{Metric: metric / float64(nBatches)}

@@ -15,7 +15,7 @@ out="${1:-BENCH_ops.json}"
 cd "$(dirname "$0")/.."
 
 raw="$(go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1s}" \
-	./internal/ops ./internal/engine)"
+	./internal/ops ./internal/engine ./internal/mmnet)"
 
 {
 	printf '{\n'
