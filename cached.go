@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"strconv"
 
+	"mmbench/internal/precision"
 	"mmbench/internal/resultcache"
 	"mmbench/internal/workloads"
 )
@@ -74,7 +75,7 @@ func (cfg RunConfig) cacheKey() string {
 	} else if norm.Seed == 0 {
 		norm.Seed = 1 // core.RunOptions defaults the eager seed to 1
 	}
-	return resultcache.Key(map[string]string{
+	m := map[string]string{
 		"workload": norm.Workload,
 		"variant":  norm.Variant,
 		"device":   norm.Device,
@@ -82,7 +83,19 @@ func (cfg RunConfig) cacheKey() string {
 		"paper":    strconv.FormatBool(norm.PaperScale),
 		"eager":    strconv.FormatBool(norm.Eager),
 		"seed":     strconv.FormatInt(norm.Seed, 10),
-	})
+	}
+	// Precision changes results (numerics in eager mode, modeled kernel
+	// costs in analytic mode), so non-trivial policies key the cache by
+	// their canonical form. All spellings of all-f32 — empty, "f32", or
+	// explicit f32 assignments — share the pre-mixed-precision key.
+	if pol, err := precision.ParsePolicy(norm.Precision); err == nil && !pol.AllF32() {
+		m["precision"] = pol.String()
+	} else if err != nil {
+		// Unparseable policies never execute (Run rejects them); give
+		// them a unique key so the error is not cached under f32.
+		m["precision"] = "invalid:" + norm.Precision
+	}
+	return resultcache.Key(m)
 }
 
 // defaultRunner backs the package-level cached entry point.

@@ -59,6 +59,36 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 			b:    RunConfig{Workload: "avmnist", Variant: "tensor"},
 			same: false,
 		},
+		{
+			name: "all-f32 precision spellings share the legacy key",
+			a:    RunConfig{Workload: "avmnist"},
+			b:    RunConfig{Workload: "avmnist", Precision: "head=f32,fusion=f32"},
+			same: true,
+		},
+		{
+			name: "explicit f32 equals empty precision",
+			a:    RunConfig{Workload: "avmnist", Precision: "f32"},
+			b:    RunConfig{Workload: "avmnist"},
+			same: true,
+		},
+		{
+			name: "precision matters",
+			a:    RunConfig{Workload: "avmnist", Precision: "head=i8"},
+			b:    RunConfig{Workload: "avmnist"},
+			same: false,
+		},
+		{
+			name: "equivalent policies canonicalize to one key",
+			a:    RunConfig{Workload: "avmnist", Precision: "head=i8,fusion=f16"},
+			b:    RunConfig{Workload: "avmnist", Precision: "fusion=f16, head=i8"},
+			same: true,
+		},
+		{
+			name: "different policies get different keys",
+			a:    RunConfig{Workload: "avmnist", Precision: "head=i8"},
+			b:    RunConfig{Workload: "avmnist", Precision: "head=f16"},
+			same: false,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

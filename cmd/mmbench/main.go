@@ -23,6 +23,7 @@ import (
 	"mmbench"
 	"mmbench/internal/engine"
 	"mmbench/internal/ops"
+	"mmbench/internal/precision"
 	"mmbench/internal/report"
 )
 
@@ -111,6 +112,22 @@ func branchParallelFlag(fs *flag.FlagSet) *bool {
 		"run per-modality encoder branches concurrently (bitwise identical to the sequential reference; the engine worker budget is split across branches)")
 }
 
+// precisionFlag registers the -precision flag shared by every command
+// that executes (or models) network stages.
+func precisionFlag(fs *flag.FlagSet) *string {
+	return fs.String("precision", "",
+		"per-stage storage-precision policy: f32|f16|i8, or stage=precision assignments over encoder[:modality], fusion, head (e.g. head=i8,fusion=f16); empty = all f32")
+}
+
+// validatePrecision rejects unparseable policies at flag time so the
+// error names the flag instead of surfacing later from a job worker.
+func validatePrecision(pol string) error {
+	if _, err := precision.ParsePolicy(pol); err != nil {
+		return fmt.Errorf("bad -precision: %w", err)
+	}
+	return nil
+}
+
 // computeWorkerBudget resolves the per-job compute worker count. A
 // positive request wins; otherwise the budget is GOMAXPROCS divided by
 // the command's job-level workers, clamped to at least 1 — without the
@@ -162,7 +179,12 @@ func cmdRun(args []string) error {
 	computeWorkers := computeWorkersFlag(fs)
 	unfusedAttn := unfusedAttentionFlag(fs)
 	branchPar := branchParallelFlag(fs)
+	precPolicy := precisionFlag(fs)
+	seed := fs.Int64("seed", 0, "eager-mode data seed (0 = suite default)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validatePrecision(*precPolicy); err != nil {
 		return err
 	}
 	configureCompute(*computeWorkers, 1)
@@ -175,6 +197,8 @@ func cmdRun(args []string) error {
 		BatchSize:  *batch,
 		PaperScale: *paper,
 		Eager:      *eager,
+		Seed:       *seed,
+		Precision:  *precPolicy,
 	})
 	if err != nil {
 		return err
@@ -208,7 +232,22 @@ func renderReport(r *mmbench.Report, format string) error {
 	mem := report.NewTable("Peak memory (MB)", "Model", "Dataset", "Intermediate")
 	mem.AddRow(report.F(r.Memory.Model), report.F(r.Memory.Dataset), report.F(r.Memory.Intermediate))
 
-	return report.Render(os.Stdout, format, summary, stages, classes, mem)
+	tables := []*report.Table{summary, stages, classes, mem}
+	if r.Precision != "" {
+		// Only mixed-precision runs add this table, so default output
+		// stays byte-identical to the pre-mixed-precision CLI.
+		prec := report.NewTable("Mixed precision",
+			"Policy", "Max |err| vs f32", "Mean |err| vs f32")
+		errMax, errMean := "-", "-"
+		if r.OutputErrMax != 0 || r.OutputErrMean != 0 {
+			errMax, errMean = report.F(r.OutputErrMax), report.F(r.OutputErrMean)
+		}
+		prec.AddRow(r.Precision, errMax, errMean)
+		prec.Note = "error columns are measured only for -eager runs (analytic runs model the precision's kernel costs without numerics)"
+		tables = append(tables, prec)
+	}
+
+	return report.Render(os.Stdout, format, tables...)
 }
 
 func cmdTrain(args []string) error {
@@ -221,18 +260,23 @@ func cmdTrain(args []string) error {
 	computeWorkers := computeWorkersFlag(fs)
 	unfusedAttn := unfusedAttentionFlag(fs)
 	branchPar := branchParallelFlag(fs)
+	precPolicy := precisionFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validatePrecision(*precPolicy); err != nil {
 		return err
 	}
 	configureCompute(*computeWorkers, 1)
 	configureAttention(*unfusedAttn)
 	configureBranches(*branchPar)
 	res, err := mmbench.Train(mmbench.TrainConfig{
-		Workload: *workload,
-		Variant:  *variant,
-		Epochs:   *epochs,
-		LR:       *lr,
-		Seed:     *seed,
+		Workload:  *workload,
+		Variant:   *variant,
+		Epochs:    *epochs,
+		LR:        *lr,
+		Seed:      *seed,
+		Precision: *precPolicy,
 	})
 	if err != nil {
 		return err

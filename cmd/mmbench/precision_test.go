@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+func TestParsePrecisions(t *testing.T) {
+	cases := []struct {
+		name, in string
+		want     []string
+		wantErr  bool
+	}{
+		{name: "empty", in: "", want: nil},
+		{name: "whitespace only", in: "  ", want: nil},
+		{name: "single policy", in: "f16", want: []string{"f16"}},
+		{name: "policies with commas split on semicolons", in: "f32;f16;head=i8,fusion=f16",
+			want: []string{"f32", "f16", "head=i8,fusion=f16"}},
+		{name: "whitespace trimmed", in: " f16 ; i8 ", want: []string{"f16", "i8"}},
+		{name: "per-modality", in: "encoder:audio=i8", want: []string{"encoder:audio=i8"}},
+		{name: "bad precision", in: "f16;head=f64", wantErr: true},
+		{name: "bad stage", in: "decoder=f16", wantErr: true},
+		{name: "comma used as list separator", in: "f16,i8", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parsePrecisions(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("parsePrecisions(%q) = %v, want error", tc.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parsePrecisions(%q): %v", tc.in, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("parsePrecisions(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("parsePrecisions(%q) = %v, want %v", tc.in, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestValidatePrecision(t *testing.T) {
+	if err := validatePrecision(""); err != nil {
+		t.Errorf("empty policy rejected: %v", err)
+	}
+	if err := validatePrecision("head=i8,fusion=f16"); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	if err := validatePrecision("head=q4"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}

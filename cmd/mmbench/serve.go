@@ -24,9 +24,13 @@ func cmdServe(args []string) error {
 	computeWorkers := computeWorkersFlag(fs)
 	unfusedAttn := unfusedAttentionFlag(fs)
 	branchPar := branchParallelFlag(fs)
+	precPolicy := precisionFlag(fs)
 	writeTimeout := fs.Duration("write-timeout", 5*time.Minute,
 		"HTTP write deadline per request; must cover the longest synchronous /v1/run (long eager runs should go through /v1/sweep jobs instead)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validatePrecision(*precPolicy); err != nil {
 		return err
 	}
 	configureAttention(*unfusedAttn)
@@ -38,8 +42,9 @@ func cmdServe(args []string) error {
 	configureCompute(*computeWorkers, *workers)
 
 	s := serve.New(serve.Options{
-		Workers:    *workers,
-		CacheBytes: int64(*cacheMB) << 20,
+		Workers:          *workers,
+		CacheBytes:       int64(*cacheMB) << 20,
+		DefaultPrecision: *precPolicy,
 	})
 	// Slow or stalled clients must not pin handler goroutines forever:
 	// bound header/body reads and idle keep-alives tightly. The write

@@ -28,10 +28,18 @@ func cmdSweep(args []string) error {
 	tasks := fs.Int("tasks", 0, "if > 0, also report total time for this many inference tasks")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel profiling workers (1 = sequential)")
 	format := fs.String("format", "text", "output format: text, csv or json")
+	precisions := fs.String("precision", "",
+		"semicolon-separated precision policies to sweep (each in -precision syntax, e.g. 'f32;f16;head=i8,fusion=f16'); adds Precision and max-error columns")
+	eager := fs.Bool("eager", false, "execute real numerics (measures the precision error column instead of leaving it modeled)")
+	seed := fs.Int64("seed", 0, "eager-mode data seed (0 = suite default)")
 	computeWorkers := computeWorkersFlag(fs)
 	unfusedAttn := unfusedAttentionFlag(fs)
 	branchPar := branchParallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	precList, err := parsePrecisions(*precisions)
+	if err != nil {
 		return err
 	}
 	configureCompute(*computeWorkers, *workers)
@@ -43,11 +51,14 @@ func cmdSweep(args []string) error {
 		return fmt.Errorf("bad -batches: %w", err)
 	}
 	cfg := mmbench.SweepConfig{
-		Workload: *workload,
-		Variant:  *variant,
-		Devices:  strings.Split(*devices, ","),
-		Batches:  batchList,
-		Tasks:    *tasks,
+		Workload:   *workload,
+		Variant:    *variant,
+		Devices:    strings.Split(*devices, ","),
+		Batches:    batchList,
+		Tasks:      *tasks,
+		Precisions: precList,
+		Eager:      *eager,
+		Seed:       *seed,
 	}
 
 	var pool *jobs.Pool
@@ -60,6 +71,24 @@ func cmdSweep(args []string) error {
 		return err
 	}
 	return report.Render(os.Stdout, *format, t)
+}
+
+// parsePrecisions splits the sweep's -precision flag into individual
+// policies. Policies contain commas ("head=i8,fusion=f16"), so the list
+// separator is a semicolon. Each policy is validated at flag time.
+func parsePrecisions(list string) ([]string, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, pol := range strings.Split(list, ";") {
+		pol = strings.TrimSpace(pol)
+		if err := validatePrecision(pol); err != nil {
+			return nil, err
+		}
+		out = append(out, pol)
+	}
+	return out, nil
 }
 
 func parseInts(csv string) ([]int, error) {

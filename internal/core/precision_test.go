@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"mmbench/internal/precision"
+)
+
+// An eager run under a reduced-precision policy must measure a non-zero
+// output error against the f32 reference, inside the documented bound
+// (f16 ≤ 1e-2, i8 ≤ 1e-1 relative to unit-scale logits — the planted
+// synthetic tasks produce O(1) outputs).
+func TestEagerPrecisionErrorMeasured(t *testing.T) {
+	for _, tc := range []struct {
+		policy string
+		bound  float64
+	}{
+		{"f16", 1e-2},
+		{"head=i8,fusion=f16", 1e-1},
+	} {
+		pol, err := precision.ParsePolicy(tc.policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := BuildAndRun("avmnist", "concat", false, RunOptions{
+			Eager: true, BatchSize: 4, Precision: pol,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OutputErrMax == 0 {
+			t.Errorf("%s: zero output error — the policy never engaged", tc.policy)
+		}
+		if res.OutputErrMax > tc.bound {
+			t.Errorf("%s: output error %g exceeds bound %g", tc.policy, res.OutputErrMax, tc.bound)
+		}
+		if res.OutputErrMean > res.OutputErrMax {
+			t.Errorf("%s: mean error %g exceeds max %g", tc.policy, res.OutputErrMean, res.OutputErrMax)
+		}
+	}
+}
+
+// Analytic runs never measure error (there are no numerics), but the
+// precision-scaled device model must price the reduced-precision trace
+// at no more GPU time than the f32 one.
+func TestAnalyticPrecisionPricing(t *testing.T) {
+	f32, err := BuildAndRun("avmnist", "concat", true, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := precision.ParsePolicy("i8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i8, err := BuildAndRun("avmnist", "concat", true, RunOptions{Precision: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i8.OutputErrMax != 0 {
+		t.Error("analytic run measured an output error")
+	}
+	if i8.Trace.GPUBusy() >= f32.Trace.GPUBusy() {
+		t.Errorf("i8 GPU time %g not below f32 %g", i8.Trace.GPUBusy(), f32.Trace.GPUBusy())
+	}
+	if len(i8.Trace.Kernels) != len(f32.Trace.Kernels) {
+		t.Errorf("kernel count changed: %d vs %d", len(i8.Trace.Kernels), len(f32.Trace.Kernels))
+	}
+}
+
+// The zero policy must not add the reference pass or change results.
+func TestDefaultPolicyNoReferencePass(t *testing.T) {
+	a, err := BuildAndRun("avmnist", "concat", false, RunOptions{Eager: true, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildAndRun("avmnist", "concat", false, RunOptions{
+		Eager: true, BatchSize: 4, Precision: precision.Policy{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OutputErrMax != 0 || b.OutputErrMax != 0 {
+		t.Error("f32 runs measured an output error")
+	}
+	ad, bd := a.Output.Value.Data(), b.Output.Value.Data()
+	for i := range ad {
+		if ad[i] != bd[i] {
+			t.Fatalf("output[%d] differs between implicit and explicit f32 policy", i)
+		}
+	}
+}

@@ -6,12 +6,15 @@ package core
 import (
 	"fmt"
 
+	"math"
+
 	"mmbench/internal/data"
 	"mmbench/internal/device"
 	"mmbench/internal/engine"
 	"mmbench/internal/memprof"
 	"mmbench/internal/mmnet"
 	"mmbench/internal/ops"
+	"mmbench/internal/precision"
 	"mmbench/internal/tensor"
 	"mmbench/internal/trace"
 	"mmbench/internal/workloads"
@@ -41,6 +44,13 @@ type RunOptions struct {
 	// process-wide -branch-parallel setting). Either way the run is
 	// bitwise identical, so the toggle never participates in cache keys.
 	SequentialBranches bool
+	// Precision is the per-stage storage-precision policy (the
+	// -precision flag). Unlike the toggles above it changes results —
+	// eager outputs numerically, analytic traces through the
+	// precision-scaled kernel costs — so it must participate in cache
+	// keys. The zero policy is all-float32 and leaves the run
+	// bit-identical to a build without mixed-precision support.
+	Precision precision.Policy
 }
 
 func (o *RunOptions) defaults() {
@@ -65,6 +75,13 @@ type RunResult struct {
 	Latency float64
 	// Output is the task output (nil shapes in analytic mode).
 	Output *ops.Var
+	// OutputErrMax and OutputErrMean measure the low-precision output
+	// against a float32 reference forward over the same batch: the
+	// largest and mean absolute element error. They are populated only
+	// for eager runs under a non-trivial precision policy (analytic
+	// runs have no numerics to compare).
+	OutputErrMax  float64
+	OutputErrMean float64
 }
 
 // Run profiles one inference of the network: host-side loading and
@@ -117,8 +134,23 @@ func Run(n *mmnet.Network, opts RunOptions) (*RunResult, error) {
 		Eng:                opts.Engine,
 		UnfusedAttention:   opts.UnfusedAttention,
 		SequentialBranches: opts.SequentialBranches,
+		Precision:          opts.Precision,
 	}
 	out := n.Forward(c, batch)
+
+	// Under a low-precision policy an eager run also executes the f32
+	// reference forward (unrecorded, so the trace prices only the
+	// policy run) and reports the output error against it — the
+	// accuracy-delta axis of a mixed-precision sweep.
+	var errMax, errMean float64
+	if opts.Eager && !opts.Precision.AllF32() {
+		ref := n.Forward(&ops.Ctx{
+			Eng:                opts.Engine,
+			UnfusedAttention:   opts.UnfusedAttention,
+			SequentialBranches: opts.SequentialBranches,
+		}, batch)
+		errMax, errMean = outputError(out, ref)
+	}
 
 	// Results return to the host.
 	builder.SetScope(mmnet.StageHead, "")
@@ -130,7 +162,28 @@ func Run(n *mmnet.Network, opts RunOptions) (*RunResult, error) {
 	mem := memprof.Measure(n, tr, opts.BatchSize)
 	latency := tr.Wall * opts.Device.CapacityPenalty(mem.AllocatorDemand())
 
-	return &RunResult{Network: n, Trace: tr, Memory: mem, Latency: latency, Output: out}, nil
+	return &RunResult{
+		Network: n, Trace: tr, Memory: mem, Latency: latency, Output: out,
+		OutputErrMax: errMax, OutputErrMean: errMean,
+	}, nil
+}
+
+// outputError compares a low-precision output tensor against the f32
+// reference element-wise.
+func outputError(got, ref *ops.Var) (errMax, errMean float64) {
+	gd, rd := got.Value.Data(), ref.Value.Data()
+	if len(gd) != len(rd) || len(gd) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for i := range gd {
+		e := math.Abs(float64(gd[i]) - float64(rd[i]))
+		if e > errMax {
+			errMax = e
+		}
+		sum += e
+	}
+	return errMax, sum / float64(len(gd))
 }
 
 // BuildAndRun is a convenience wrapper: build a workload variant and

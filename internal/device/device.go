@@ -246,8 +246,33 @@ type Metrics struct {
 	MemBound float64
 }
 
-// Price models the execution of one kernel on the device.
+// ComputeScale returns the achievable-throughput multiplier for a
+// kernel whose operands are stored at the given precision. Halving the
+// operand width doubles the vector lanes a fused-multiply-add datapath
+// feeds per cycle (fp16 packed math, int8 dp4a-style dot products), so
+// the model doubles peak compute per halving: f32 ×1, f16 ×2, i8 ×4.
+// Real silicon with dedicated tensor units can exceed these ratios;
+// this is the conservative vector-width scaling.
+func ComputeScale(bits int) float64 {
+	switch bits {
+	case 16:
+		return 2
+	case 8:
+		return 4
+	}
+	return 1
+}
+
+// Price models the execution of one kernel on the device. The spec's
+// byte counts describe the float32 layout; reduced-precision kernels
+// (Spec.Bits of 16 or 8) are priced with proportionally less DRAM
+// traffic and a smaller cache working set, and with the precision's
+// higher achievable compute throughput (ComputeScale).
 func (p *Profile) Price(s kernels.Spec) Metrics {
+	bits := s.EffectiveBits()
+	if bits != 32 {
+		s = s.ScaleBytes(float64(bits) / 32)
+	}
 	occ := p.occupancy(s.Threads)
 
 	// Cache model: the fraction of reads served by L2 grows as the
@@ -259,7 +284,7 @@ func (p *Profile) Price(s kernels.Spec) Metrics {
 	// Roofline: compute and memory times, derated by occupancy when the
 	// kernel cannot fill the machine.
 	eff := p.ComputeEff[s.Class]
-	gpuFLOPS := p.PeakGFLOPS * 1e9 * eff * occDerate(occ)
+	gpuFLOPS := p.PeakGFLOPS * 1e9 * eff * occDerate(occ) * ComputeScale(bits)
 	bw := p.DRAMBandwidthGBs * 1e9 * (0.55 + 0.45*s.Coalesced) * occDerate(occ)
 	tCompute := float64(s.FLOPs) / gpuFLOPS
 	tMem := effBytes / bw

@@ -1,0 +1,71 @@
+package device
+
+import (
+	"testing"
+
+	"mmbench/internal/kernels"
+)
+
+func TestComputeScale(t *testing.T) {
+	for bits, want := range map[int]float64{32: 1, 16: 2, 8: 4, 0: 1} {
+		if got := ComputeScale(bits); got != want {
+			t.Errorf("ComputeScale(%d) = %g, want %g", bits, got, want)
+		}
+	}
+}
+
+// Reduced-precision kernels must never price slower than f32, must
+// speed up monotonically with narrower storage, and must leave the
+// float32 pricing bit-identical when Bits is 0 or 32.
+func TestPricePrecisionScaling(t *testing.T) {
+	p := RTX2080Ti()
+	spec := kernels.GemmSpec("gemm_512x512x512", 512, 512, 512)
+
+	f32 := p.Price(spec)
+	spec32 := spec
+	spec32.Bits = 32
+	if got := p.Price(spec32); got != f32 {
+		t.Errorf("explicit 32-bit pricing differs from default: %+v vs %+v", got, f32)
+	}
+
+	spec16, spec8 := spec, spec
+	spec16.Bits = 16
+	spec8.Bits = 8
+	f16 := p.Price(spec16)
+	i8 := p.Price(spec8)
+	if !(i8.Seconds < f16.Seconds && f16.Seconds < f32.Seconds) {
+		t.Errorf("kernel time not monotone in precision: f32=%g f16=%g i8=%g",
+			f32.Seconds, f16.Seconds, i8.Seconds)
+	}
+	if i8.ReadTransactions >= f32.ReadTransactions {
+		t.Errorf("i8 DRAM reads %d not below f32 %d", i8.ReadTransactions, f32.ReadTransactions)
+	}
+}
+
+// A memory-bound kernel's speedup comes from the traffic reduction, so
+// it must be roughly proportional to the storage-width ratio.
+func TestPricePrecisionMemoryBound(t *testing.T) {
+	p := RTX2080Ti()
+	spec := kernels.ElewiseSpec("add", 1<<22, 2, 1)
+	f32 := p.Price(spec)
+	spec.Bits = 16
+	f16 := p.Price(spec)
+	ratio := f32.Seconds / f16.Seconds
+	if ratio < 1.3 || ratio > 2.2 {
+		t.Errorf("memory-bound f16 speedup %g, want ≈2 (launch overhead tolerated)", ratio)
+	}
+}
+
+func TestSpecBitsValidate(t *testing.T) {
+	s := kernels.GemmSpec("g", 8, 8, 8)
+	for _, bits := range []int{0, 8, 16, 32} {
+		s.Bits = bits
+		if err := s.Validate(); err != nil {
+			t.Errorf("bits %d rejected: %v", bits, err)
+		}
+	}
+	s.Bits = 12
+	if err := s.Validate(); err == nil {
+		t.Error("bits 12 accepted")
+	}
+}

@@ -68,6 +68,33 @@ type Spec struct {
 	// Coalesced is the fraction of global loads/stores that are fully
 	// coalesced; it drives the gld/gst efficiency metrics.
 	Coalesced float64
+	// Bits is the storage precision of the kernel's operands: 16 for
+	// float16, 8 for int8, and 0 or 32 for the float32 default. The
+	// byte counts above always describe the float32 layout; the device
+	// model scales traffic by Bits/32 and raises achievable compute
+	// throughput for narrow types (see device.Price), so one spec
+	// constructor serves every precision.
+	Bits int
+}
+
+// EffectiveBits returns the operand storage width, treating the zero
+// value as float32.
+func (s Spec) EffectiveBits() int {
+	if s.Bits == 0 {
+		return 32
+	}
+	return s.Bits
+}
+
+// ScaleBytes returns a copy of the spec with its memory-traffic fields
+// (BytesRead, BytesWritten, WorkingSet) scaled by f. The device model
+// uses it to derive a reduced-precision kernel's DRAM footprint from
+// the float32 description.
+func (s Spec) ScaleBytes(f float64) Spec {
+	s.BytesRead = int64(float64(s.BytesRead) * f)
+	s.BytesWritten = int64(float64(s.BytesWritten) * f)
+	s.WorkingSet = int64(float64(s.WorkingSet) * f)
+	return s
 }
 
 // Bytes returns total DRAM traffic (read + written).
@@ -96,6 +123,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("kernels: spec %q has non-positive threads", s.Name)
 	case s.Coalesced < 0 || s.Coalesced > 1:
 		return fmt.Errorf("kernels: spec %q has coalesced fraction %f outside [0,1]", s.Name, s.Coalesced)
+	case s.Bits != 0 && s.Bits != 8 && s.Bits != 16 && s.Bits != 32:
+		return fmt.Errorf("kernels: spec %q has invalid precision %d bits (want 0, 8, 16 or 32)", s.Name, s.Bits)
 	}
 	return nil
 }

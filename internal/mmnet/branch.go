@@ -28,6 +28,7 @@
 // The engine worker budget is split across active branches
 // (engine.ForBranches), so scheduler × branch × kernel parallelism
 // stays within the one -compute-workers budget.
+
 package mmnet
 
 import (

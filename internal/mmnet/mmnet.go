@@ -32,10 +32,17 @@ type Scoper interface {
 	SetScope(stage, modality string)
 }
 
+// setScope moves the context into a (stage, modality) scope: the
+// recorder starts attributing kernels there, and the context activates
+// the precision policy's assignment for the stage (mmnet stage names
+// match the precision.Policy stage keys). The empty scope between and
+// after stages restores float32, so losses and metrics never run at
+// reduced precision.
 func setScope(c *ops.Ctx, stage, modality string) {
 	if s, ok := c.Rec.(Scoper); ok {
 		s.SetScope(stage, modality)
 	}
+	c.EnterStage(stage, modality)
 }
 
 // Network is one end-to-end multi-modal DNN.

@@ -1,0 +1,68 @@
+package mmnet_test
+
+import (
+	"testing"
+
+	"mmbench/internal/engine"
+	"mmbench/internal/ops"
+	"mmbench/internal/precision"
+	"mmbench/internal/tensor"
+	"mmbench/internal/workloads"
+)
+
+// A per-stage precision policy must act identically under both branch
+// schedules: each encoder branch activates its own modality assignment
+// (also on forked branch contexts), and the policy-quantized outputs
+// stay bitwise identical between the sequential reference loop and the
+// modality-parallel executor.
+func TestPrecisionPolicyBranchScheduleBitwise(t *testing.T) {
+	pol, err := precision.ParsePolicy("encoder=f16,encoder:audio=i8,fusion=f16,head=i8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := workloads.Build("avmnist", "concat", false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := n.Gen.Batch(tensor.NewRNG(11), 4)
+	eng := engine.New(4)
+	defer eng.Close()
+
+	ref := n.Forward(&ops.Ctx{}, b).Value.Data()
+	seq := n.Forward(&ops.Ctx{SequentialBranches: true, Precision: pol}, b).Value.Data()
+	par := n.Forward(&ops.Ctx{Eng: eng, Precision: pol}, b).Value.Data()
+
+	same := true
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("output[%d]: parallel %v != sequential %v under policy", i, par[i], seq[i])
+		}
+		if seq[i] != ref[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("policy run bit-identical to f32 — precision never engaged in any branch")
+	}
+}
+
+// The policy resets outside stages: a second f32 forward on the same
+// context after a policy forward must be bit-identical to a fresh f32
+// run (EnterStage("") restored float32 at the end of Forward).
+func TestPrecisionScopeResets(t *testing.T) {
+	pol, err := precision.ParsePolicy("i8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := workloads.Build("avmnist", "concat", false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := n.Gen.Batch(tensor.NewRNG(11), 4)
+
+	c := &ops.Ctx{Precision: pol}
+	n.Forward(c, b)
+	if got := c.ActivePrecision(); got != precision.F32 {
+		t.Fatalf("active precision after Forward = %v, want f32", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"mmbench/internal/engine"
 	"mmbench/internal/kernels"
+	"mmbench/internal/precision"
 )
 
 // Fused scaled-dot-product attention.
@@ -216,7 +217,7 @@ func (c *Ctx) Attention(q, k, v *Var, heads int, scale float32) *Var {
 	}
 	dh := d / heads
 	bh := b * heads
-	c.emit(kernels.AttentionSpec(fmt.Sprintf("attention_%dx%dx%dx%d", bh, tq, tk, dh), bh, tq, tk, dh, attnQTile, attnKTile))
+	c.emitP(kernels.AttentionSpec(fmt.Sprintf("attention_%dx%dx%dx%d", bh, tq, tk, dh), bh, tq, tk, dh, attnQTile, attnKTile))
 	out := c.out([]int{b, tq, d}, q, k, v)
 	if out.Value.Abstract() {
 		return out
@@ -224,6 +225,26 @@ func (c *Ctx) Attention(q, k, v *Var, heads int, scale float32) *Var {
 	attnActivity.fusedCalls.Add(1)
 	e := c.engine()
 	qd, kd, vd, od := q.Value.Data(), k.Value.Data(), v.Value.Data(), out.Value.Data()
+	// Mixed precision: the kernel reads pooled low-precision copies of
+	// the projections while score tiles, the streaming softmax and the
+	// softmax·V product keep accumulating in f32. For i8 the q/k scales
+	// fold into the score scale (applied once per finished dot, like the
+	// NT GEMM) and the v scale folds into the final output store; for
+	// f16 both folds are ×1 and the output is re-stored through the f16
+	// grid afterwards.
+	scoreScale, outScale := scale, float32(1)
+	prec := c.prec
+	var lowQ, lowK, lowV []float32
+	if prec != precision.F32 {
+		countLowp(prec)
+		var sq, sk, sv float32
+		lowQ, sq = quantizeOperand(e, prec, qd)
+		lowK, sk = quantizeOperand(e, prec, kd)
+		lowV, sv = quantizeOperand(e, prec, vd)
+		qd, kd, vd = lowQ, lowK, lowV
+		scoreScale = scale * sq * sk
+		outScale = sv
+	}
 	taping := c.taping(q, k, v)
 	// The backward recomputes probabilities from the final running max
 	// and denominator of every query row; both are captured by the
@@ -261,7 +282,7 @@ func (c *Ctx) Attention(q, k, v *Var, heads int, scale float32) *Var {
 			// function of the inputs.
 			for j0 := 0; j0 < tk; j0 += attnKTile {
 				w := min(attnKTile, tk-j0)
-				scoreTile(st, qd, kd, qoff, koff, rows, w, i0, j0, d, dh, scale)
+				scoreTile(st, qd, kd, qoff, koff, rows, w, i0, j0, d, dh, scoreScale)
 				for i := 0; i < rows; i++ {
 					srow := st[i*w : (i+1)*w]
 					m := mbuf[i]
@@ -328,8 +349,11 @@ func (c *Ctx) Attention(q, k, v *Var, heads int, scale float32) *Var {
 				inv := float32(1 / lbuf[i])
 				accRow := acc[i*dh : (i+1)*dh]
 				orow := od[qoff+(i0+i)*d : qoff+(i0+i)*d+dh]
+				// outScale is 1 except under i8 (the v dequantization);
+				// multiplying by exactly 1 is a bitwise identity, so the
+				// f32 path is unchanged.
 				for x, ax := range accRow {
-					orow[x] = ax * inv
+					orow[x] = ax * inv * outScale
 				}
 				if taping {
 					rowMax[(bi*heads+h)*tq+i0+i] = mbuf[i]
@@ -338,7 +362,18 @@ func (c *Ctx) Attention(q, k, v *Var, heads int, scale float32) *Var {
 			}
 		}
 	})
+	if prec != precision.F32 {
+		e.Put(lowQ)
+		e.Put(lowK)
+		e.Put(lowV)
+		if prec == precision.F16 {
+			roundSliceF16(e, od)
+		}
+	}
 	if taping {
+		// The backward recomputes score tiles from the full-precision
+		// projections (straight-through gradients under a low-precision
+		// policy; exact under f32).
 		c.tapeStep(out, func() {
 			c.attentionBackward(e, q, k, v, out, rowMax, rowInvL, heads, scale)
 		})

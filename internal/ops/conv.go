@@ -6,6 +6,7 @@ import (
 
 	"mmbench/internal/engine"
 	"mmbench/internal/kernels"
+	"mmbench/internal/precision"
 )
 
 // convOut returns the output spatial size for one dimension.
@@ -68,7 +69,7 @@ func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
 	oh := convOut(h, kh, stride, pad)
 	ow := convOut(wd, kw, stride, pad)
 
-	c.emit(kernels.Conv2DSpec(fmt.Sprintf("conv2d_%dx%d_c%d_o%d", kh, kw, ch, outC), n, ch, oh, ow, outC, kh, kw))
+	c.emitP(kernels.Conv2DSpec(fmt.Sprintf("conv2d_%dx%d_c%d_o%d", kh, kw, ch, outC), n, ch, oh, ow, outC, kh, kw))
 	if bias != nil {
 		c.emit(kernels.ElewiseSpec("conv_bias", n*outC*oh*ow, 2, 1))
 	}
@@ -86,12 +87,44 @@ func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
 	xd, wdta, od := x.Value.Data(), w.Value.Data(), out.Value.Data()
 	kDim := ch * kh * kw
 	m := oh * ow
+	prec := c.prec
+	gemmW := wdta
+	var qw []float32
+	var xScale, deqScale float32
+	if prec != precision.F32 {
+		// Weights are quantized once per call; each sample's im2col
+		// expansion is quantized in place with the input tensor's
+		// calibration (col entries are copies of input entries plus
+		// zero padding, so the input's maxabs bounds the col's).
+		countLowp(prec)
+		var sw float32
+		qw, sw = quantizeOperand(e, prec, wdta)
+		gemmW = qw
+		if prec == precision.I8 {
+			xScale = precision.I8Scale(precision.MaxAbs(xd))
+			deqScale = xScale * sw
+		}
+	}
 	col := e.GetUninit(kDim * m) // im2col writes every entry
 	for ni := 0; ni < n; ni++ {
 		im2col(e, col, xd[ni*ch*h*wd:(ni+1)*ch*h*wd], ch, h, wd, kh, kw, oh, ow, stride, pad)
-		matmulNN(e, od[ni*outC*m:(ni+1)*outC*m], wdta, col, outC, kDim, m)
+		oslice := od[ni*outC*m : (ni+1)*outC*m]
+		switch prec {
+		case precision.F16:
+			roundSliceF16(e, col)
+			matmulNN(e, oslice, gemmW, col, outC, kDim, m)
+		case precision.I8:
+			e.ParallelFor(len(col), elemGrain, func(lo, hi int) {
+				precision.QuantizeI8(col[lo:hi], col[lo:hi], xScale)
+			})
+			matmulNN(e, oslice, gemmW, col, outC, kDim, m)
+			scaleSlice(e, oslice, deqScale)
+		default:
+			matmulNN(e, oslice, gemmW, col, outC, kDim, m)
+		}
 	}
 	e.Put(col)
+	e.Put(qw)
 	if bias != nil {
 		bd := bias.Value.Data()
 		e.ParallelFor(n*outC, rowGrain(m), func(r0, r1 int) {
@@ -103,6 +136,11 @@ func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
 				}
 			}
 		})
+	}
+	if prec == precision.F16 {
+		// Output feature maps are stored at f16 (the bias joined in the
+		// f32 accumulator).
+		roundSliceF16(e, od)
 	}
 
 	if c.taping(inputs...) {

@@ -17,6 +17,7 @@ import (
 	"mmbench/internal/autograd"
 	"mmbench/internal/engine"
 	"mmbench/internal/kernels"
+	"mmbench/internal/precision"
 	"mmbench/internal/tensor"
 )
 
@@ -57,6 +58,18 @@ type Ctx struct {
 	// execution are bitwise identical, so this is a scheduling choice,
 	// never a numerics one.
 	SequentialBranches bool
+	// Precision is the per-stage storage-precision policy (the
+	// -precision flag). The network assembly layer activates the right
+	// stage assignment via EnterStage as execution moves between
+	// encoder branches, fusion and head; the GEMM-family operators then
+	// run their emulated low-precision variants (see lowp.go). The zero
+	// policy is all-float32 and leaves every kernel bit-identical to
+	// the reference path.
+	Precision precision.Policy
+	// prec is the precision activated for the current stage scope.
+	// It is F32 outside any stage, so losses, metrics and optimizer
+	// math always run in full precision.
+	prec precision.Type
 }
 
 // Infer returns a minimal inference context with no tape or recorder.
@@ -88,10 +101,32 @@ func rowGrain(d int) int {
 	return g
 }
 
+// EnterStage activates the precision policy's assignment for a stage
+// scope. The network assembly layer calls it alongside recorder scope
+// changes; an empty stage (the between-stages scope) restores float32.
+func (c *Ctx) EnterStage(stage, modality string) {
+	c.prec = c.Precision.For(stage, modality)
+}
+
+// ActivePrecision returns the storage precision the current stage scope
+// runs GEMM-family kernels at.
+func (c *Ctx) ActivePrecision() precision.Type { return c.prec }
+
 func (c *Ctx) emit(s kernels.Spec) {
 	if c.Rec != nil {
 		c.Rec.Kernel(s)
 	}
+}
+
+// emitP emits a kernel spec stamped with the context's active storage
+// precision — used by the operators that have emulated low-precision
+// variants, so the analytic device model prices the reduced-precision
+// launch (scaled DRAM traffic, higher achievable throughput).
+func (c *Ctx) emitP(s kernels.Spec) {
+	if c.prec != precision.F32 {
+		s.Bits = c.prec.Bits()
+	}
+	c.emit(s)
 }
 
 func (c *Ctx) emitHost(name string, flops, bytes int64, nOps int) {

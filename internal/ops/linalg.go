@@ -5,6 +5,7 @@ import (
 
 	"mmbench/internal/engine"
 	"mmbench/internal/kernels"
+	"mmbench/internal/precision"
 )
 
 // The matmul kernels partition work over rows of dst and run the row
@@ -153,13 +154,17 @@ func (c *Ctx) MatMul(a, b *Var) *Var {
 	if k != k2 {
 		panic(fmt.Sprintf("ops: MatMul inner dims %d != %d", k, k2))
 	}
-	c.emit(kernels.GemmSpec(fmt.Sprintf("gemm_%dx%dx%d", m, k, n), m, k, n))
+	c.emitP(kernels.GemmSpec(fmt.Sprintf("gemm_%dx%dx%d", m, k, n), m, k, n))
 	out := c.out([]int{m, n}, a, b)
 	if out.Value.Abstract() {
 		return out
 	}
 	e := c.engine()
-	matmulNN(e, out.Value.Data(), a.Value.Data(), b.Value.Data(), m, k, n)
+	if p := c.prec; p != precision.F32 {
+		lowpMatmulNN(e, p, out.Value.Data(), a.Value.Data(), b.Value.Data(), m, k, n)
+	} else {
+		matmulNN(e, out.Value.Data(), a.Value.Data(), b.Value.Data(), m, k, n)
+	}
 	if c.taping(a, b) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
@@ -186,16 +191,28 @@ func (c *Ctx) MatMulBatched(a, b *Var) *Var {
 		panic(fmt.Sprintf("ops: MatMulBatched shapes %v × %v", a.Value.Shape(), b.Value.Shape()))
 	}
 	n := b.Value.Dim(2)
-	c.emit(kernels.GemmSpec(fmt.Sprintf("bgemm_%dx%dx%dx%d", bs, m, k, n), bs*m, k, n))
+	c.emitP(kernels.GemmSpec(fmt.Sprintf("bgemm_%dx%dx%dx%d", bs, m, k, n), bs*m, k, n))
 	out := c.out([]int{bs, m, n}, a, b)
 	if out.Value.Abstract() {
 		return out
 	}
 	e := c.engine()
 	ad, bd, od := a.Value.Data(), b.Value.Data(), out.Value.Data()
-	batchMatmul(e, bs, func(inner *engine.Engine, i int) {
-		matmulNN(inner, od[i*m*n:(i+1)*m*n], ad[i*m*k:(i+1)*m*k], bd[i*k*n:(i+1)*k*n], m, k, n)
-	})
+	if p := c.prec; p != precision.F32 {
+		countLowp(p)
+		qa, sa := quantizeOperand(e, p, ad)
+		qb, sb := quantizeOperand(e, p, bd)
+		batchMatmul(e, bs, func(inner *engine.Engine, i int) {
+			matmulNN(inner, od[i*m*n:(i+1)*m*n], qa[i*m*k:(i+1)*m*k], qb[i*k*n:(i+1)*k*n], m, k, n)
+		})
+		e.Put(qa)
+		e.Put(qb)
+		finishLowp(e, p, od, sa*sb)
+	} else {
+		batchMatmul(e, bs, func(inner *engine.Engine, i int) {
+			matmulNN(inner, od[i*m*n:(i+1)*m*n], ad[i*m*k:(i+1)*m*k], bd[i*k*n:(i+1)*k*n], m, k, n)
+		})
+	}
 	if c.taping(a, b) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
@@ -235,16 +252,34 @@ func (c *Ctx) MatMulBatchedNT(a, b *Var, alpha float32) *Var {
 		panic(fmt.Sprintf("ops: MatMulBatchedNT shapes %v × %vᵀ", a.Value.Shape(), b.Value.Shape()))
 	}
 	n := b.Value.Dim(1)
-	c.emit(kernels.GemmSpec(fmt.Sprintf("bgemm_nt_%dx%dx%dx%d", bs, m, d, n), bs*m, d, n))
+	c.emitP(kernels.GemmSpec(fmt.Sprintf("bgemm_nt_%dx%dx%dx%d", bs, m, d, n), bs*m, d, n))
 	out := c.out([]int{bs, m, n}, a, b)
 	if out.Value.Abstract() {
 		return out
 	}
 	e := c.engine()
 	ad, bd, od := a.Value.Data(), b.Value.Data(), out.Value.Data()
-	batchMatmul(e, bs, func(inner *engine.Engine, i int) {
-		matmulNTAlpha(inner, od[i*m*n:(i+1)*m*n], ad[i*m*d:(i+1)*m*d], bd[i*n*d:(i+1)*n*d], m, d, n, alpha)
-	})
+	if p := c.prec; p != precision.F32 {
+		countLowp(p)
+		qa, sa := quantizeOperand(e, p, ad)
+		qb, sb := quantizeOperand(e, p, bd)
+		// For i8 the operand scales fold into alpha, applied once per
+		// finished dot — the scale-after-accumulate order of an int8
+		// GEMM (for f16 sa·sb is 1 and alpha is unchanged).
+		alphaQ := alpha * sa * sb
+		batchMatmul(e, bs, func(inner *engine.Engine, i int) {
+			matmulNTAlpha(inner, od[i*m*n:(i+1)*m*n], qa[i*m*d:(i+1)*m*d], qb[i*n*d:(i+1)*n*d], m, d, n, alphaQ)
+		})
+		e.Put(qa)
+		e.Put(qb)
+		if p == precision.F16 {
+			roundSliceF16(e, od)
+		}
+	} else {
+		batchMatmul(e, bs, func(inner *engine.Engine, i int) {
+			matmulNTAlpha(inner, od[i*m*n:(i+1)*m*n], ad[i*m*d:(i+1)*m*d], bd[i*n*d:(i+1)*n*d], m, d, n, alpha)
+		})
+	}
 	if c.taping(a, b) {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
@@ -300,7 +335,7 @@ func (c *Ctx) Linear(x, w, bias *Var) *Var {
 	}
 	rows := x.Value.Size() / in
 
-	c.emit(kernels.GemmSpec(fmt.Sprintf("linear_%dx%dx%d", rows, in, outDim), rows, in, outDim))
+	c.emitP(kernels.GemmSpec(fmt.Sprintf("linear_%dx%dx%d", rows, in, outDim), rows, in, outDim))
 	if bias != nil {
 		c.emit(kernels.ElewiseSpec("bias_add", rows*outDim, 2, 1))
 	}
@@ -318,9 +353,28 @@ func (c *Ctx) Linear(x, w, bias *Var) *Var {
 	}
 
 	e := c.engine()
-	matmulNN(e, out.Value.Data(), x.Value.Data(), w.Value.Data(), rows, in, outDim)
+	od := out.Value.Data()
+	if p := c.prec; p != precision.F32 {
+		// Weights and activations are stored at the reduced precision;
+		// the bias joins in the f32 accumulator (for f16 the sum is
+		// re-stored through the grid exactly once, after the bias, like
+		// Conv2D; for i8 the dequantized output stays f32 — both the
+		// usual hardware arrangement).
+		countLowp(p)
+		qx, sx := quantizeOperand(e, p, x.Value.Data())
+		qw, sw := quantizeOperand(e, p, w.Value.Data())
+		matmulNN(e, od, qx, qw, rows, in, outDim)
+		e.Put(qx)
+		e.Put(qw)
+		if p == precision.I8 {
+			scaleSlice(e, od, sx*sw)
+		} else if bias == nil {
+			roundSliceF16(e, od)
+		}
+	} else {
+		matmulNN(e, od, x.Value.Data(), w.Value.Data(), rows, in, outDim)
+	}
 	if bias != nil {
-		od := out.Value.Data()
 		bd := bias.Value.Data()
 		e.ParallelFor(rows, rowGrain(outDim), func(r0, r1 int) {
 			for r := r0; r < r1; r++ {
@@ -330,6 +384,9 @@ func (c *Ctx) Linear(x, w, bias *Var) *Var {
 				}
 			}
 		})
+		if c.prec == precision.F16 {
+			roundSliceF16(e, od)
+		}
 	}
 	if c.taping(inputs...) {
 		c.tapeStep(out, func() {

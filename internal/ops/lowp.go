@@ -1,0 +1,152 @@
+package ops
+
+import (
+	"sync/atomic"
+
+	"mmbench/internal/engine"
+	"mmbench/internal/precision"
+)
+
+// Emulated low-precision execution of the GEMM-family hot kernels.
+//
+// When a stage's precision policy selects f16 or i8, the matmul NN/NT
+// kernels, the conv2d im2col GEMM and the fused attention kernel run an
+// emulation of reduced-precision hardware: operands are stored in the
+// low-precision grid (float16 round-to-nearest-even, or symmetric
+// per-tensor int8 levels with a calibrated maxabs/127 scale), products
+// accumulate in float32 (standing in for the fp32/int32 accumulators of
+// real tensor datapaths), and results are dequantized (i8) or re-stored
+// through the grid (f16). Quantized operand copies are drawn from the
+// engine's buffer pool and returned before the operator exits, exactly
+// like im2col and attention scratch.
+//
+// Determinism: quantization is element-wise and the scale calibration
+// is an order-independent max reduction, so the emulated kernels keep
+// the engine's bitwise-determinism contract — results are identical at
+// any worker count. Autograd backward always runs in float32 against
+// the full-precision inputs (master weights), the standard
+// mixed-precision training arrangement: the tape sees the quantized
+// forward outputs but computes straight-through gradients.
+//
+// For int8, quantization levels are stored as small integers in float32
+// slices: integer products are ≤ 127·127 and float32 holds integers
+// exactly up to 2²⁴, so the f32 GEMM accumulates the same sums an
+// int8×int8→int32 MAC array would for any realistic reduction depth,
+// and one multiply by scaleA·scaleB after accumulation dequantizes —
+// the scale-after-accumulate order real int8 GEMMs use.
+
+// precActivity counts low-precision kernel work for /v1/stats.
+var precActivity struct {
+	f16Kernels atomic.Int64
+	i8Kernels  atomic.Int64
+	quantBytes atomic.Int64
+}
+
+// PrecisionActivity is a snapshot of low-precision execution counters.
+type PrecisionActivity struct {
+	// F16Kernels / I8Kernels count eager GEMM-family kernel executions
+	// that ran at the reduced precision (analytic spec-only calls are
+	// not counted).
+	F16Kernels int64 `json:"f16_kernels"`
+	I8Kernels  int64 `json:"i8_kernels"`
+	// QuantScratchBytes is the pooled scratch drawn for quantized
+	// operand copies.
+	QuantScratchBytes int64 `json:"quant_scratch_bytes"`
+}
+
+// PrecisionStats snapshots the process-wide low-precision counters.
+func PrecisionStats() PrecisionActivity {
+	return PrecisionActivity{
+		F16Kernels:        precActivity.f16Kernels.Load(),
+		I8Kernels:         precActivity.i8Kernels.Load(),
+		QuantScratchBytes: precActivity.quantBytes.Load(),
+	}
+}
+
+func countLowp(prec precision.Type) {
+	if prec == precision.F16 {
+		precActivity.f16Kernels.Add(1)
+	} else {
+		precActivity.i8Kernels.Add(1)
+	}
+}
+
+// quantizeInto stores the prec-grid image of src into dst on the engine
+// and returns the dequantization scale (1 for f16, whose grid values
+// are real numbers already). dst and src may alias for in-place
+// quantization. The i8 scale calibration is a serial max reduction —
+// order-independent, so the result never depends on the worker count.
+func quantizeInto(e *engine.Engine, prec precision.Type, dst, src []float32) float32 {
+	switch prec {
+	case precision.F16:
+		e.ParallelFor(len(src), elemGrain, func(lo, hi int) {
+			precision.RoundF16Slice(dst[lo:hi], src[lo:hi])
+		})
+		return 1
+	case precision.I8:
+		scale := precision.I8Scale(precision.MaxAbs(src))
+		e.ParallelFor(len(src), elemGrain, func(lo, hi int) {
+			precision.QuantizeI8(dst[lo:hi], src[lo:hi], scale)
+		})
+		return scale
+	}
+	panic("ops: quantizeInto called for f32")
+}
+
+// quantizeOperand checks out a pooled copy of src stored in the prec
+// grid. The caller owns the returned buffer and must e.Put it before
+// the operator returns (backward closures never see it).
+func quantizeOperand(e *engine.Engine, prec precision.Type, src []float32) ([]float32, float32) {
+	q := e.GetUninit(len(src))
+	precActivity.quantBytes.Add(int64(len(src)) * 4)
+	scale := quantizeInto(e, prec, q, src)
+	return q, scale
+}
+
+// scaleSlice multiplies dst by s in place on the engine — the
+// dequantization step after an int8 accumulation. s == 1 is skipped so
+// a unit scale (zero tensors) stays bit-identical.
+func scaleSlice(e *engine.Engine, dst []float32, s float32) {
+	if s == 1 {
+		return
+	}
+	e.ParallelFor(len(dst), elemGrain, func(lo, hi int) {
+		d := dst[lo:hi]
+		for i := range d {
+			d[i] *= s
+		}
+	})
+}
+
+// roundSliceF16 re-stores dst through the float16 grid in place on the
+// engine — the output-storage step of an f16 kernel.
+func roundSliceF16(e *engine.Engine, dst []float32) {
+	e.ParallelFor(len(dst), elemGrain, func(lo, hi int) {
+		precision.RoundF16Slice(dst[lo:hi], dst[lo:hi])
+	})
+}
+
+// finishLowp converts a low-precision GEMM's f32 accumulator output to
+// its stored form: i8 dequantizes by the combined operand scale (dst
+// must hold raw accumulated level products, i.e. it started zeroed);
+// f16 rounds the result into the f16 grid.
+func finishLowp(e *engine.Engine, prec precision.Type, dst []float32, scale float32) {
+	if prec == precision.I8 {
+		scaleSlice(e, dst, scale)
+	} else {
+		roundSliceF16(e, dst)
+	}
+}
+
+// lowpMatmulNN computes dst[m,n] = a[m,k]·b[k,n] with operands stored
+// at prec and f32 accumulation. dst must start zeroed (it receives the
+// raw accumulator, then finishLowp converts it in place).
+func lowpMatmulNN(e *engine.Engine, prec precision.Type, dst, a, b []float32, m, k, n int) {
+	countLowp(prec)
+	qa, sa := quantizeOperand(e, prec, a)
+	qb, sb := quantizeOperand(e, prec, b)
+	matmulNN(e, dst, qa, qb, m, k, n)
+	e.Put(qa)
+	e.Put(qb)
+	finishLowp(e, prec, dst, sa*sb)
+}

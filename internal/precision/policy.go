@@ -1,0 +1,155 @@
+package precision
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stage names a Policy can assign precisions to. They mirror the mmnet
+// stage scopes: "encoder" covers every modality branch unless an
+// "encoder:<modality>" override narrows it.
+const (
+	StageEncoder = "encoder"
+	StageFusion  = "fusion"
+	StageHead    = "head"
+)
+
+// Policy maps network stages to storage precisions. The zero value is
+// the all-float32 policy and selects the reference kernels bit-for-bit.
+//
+// Policies are written in the -precision flag syntax:
+//
+//	f16                          every stage in float16
+//	head=i8,fusion=f16           head int8, fusion float16, encoders f32
+//	encoder=f16,encoder:audio=i8 all encoders f16 except the audio branch
+//
+// Assignments are per stage; "encoder:<modality>" overrides the
+// stage-wide "encoder" assignment for one branch.
+type Policy struct {
+	// Encoder is the default precision for every encoder branch.
+	Encoder Type
+	// Fusion and Head set the fusion join and task-head precision.
+	Fusion Type
+	Head   Type
+	// PerModality overrides Encoder for named modalities
+	// ("encoder:<modality>" assignments).
+	PerModality map[string]Type
+}
+
+// AllF32 reports whether the policy leaves every stage in float32 (the
+// default execution path).
+func (p Policy) AllF32() bool {
+	if p.Encoder != F32 || p.Fusion != F32 || p.Head != F32 {
+		return false
+	}
+	for _, t := range p.PerModality {
+		if t != F32 {
+			return false
+		}
+	}
+	return true
+}
+
+// For returns the precision for a stage scope. modality is only
+// consulted for the encoder stage; unknown stages (including the empty
+// between-stages scope) are float32.
+func (p Policy) For(stage, modality string) Type {
+	switch stage {
+	case StageEncoder:
+		if t, ok := p.PerModality[modality]; ok {
+			return t
+		}
+		return p.Encoder
+	case StageFusion:
+		return p.Fusion
+	case StageHead:
+		return p.Head
+	}
+	return F32
+}
+
+// String renders the policy in canonical flag syntax: assignments in
+// fixed stage order (encoder, encoder:<modality> sorted, fusion, head)
+// with float32 assignments omitted. The all-f32 policy renders as "f32".
+// Equal policies always render identically, so the string is usable as
+// a cache-key component.
+func (p Policy) String() string {
+	var parts []string
+	if p.Encoder != F32 {
+		parts = append(parts, StageEncoder+"="+p.Encoder.String())
+	}
+	mods := make([]string, 0, len(p.PerModality))
+	for m, t := range p.PerModality {
+		if t != p.Encoder {
+			mods = append(mods, m)
+		}
+	}
+	sort.Strings(mods)
+	for _, m := range mods {
+		parts = append(parts, StageEncoder+":"+m+"="+p.PerModality[m].String())
+	}
+	if p.Fusion != F32 {
+		parts = append(parts, StageFusion+"="+p.Fusion.String())
+	}
+	if p.Head != F32 {
+		parts = append(parts, StageHead+"="+p.Head.String())
+	}
+	if len(parts) == 0 {
+		return "f32"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePolicy parses the -precision flag syntax. The empty string and
+// "f32" are the zero (all-float32) policy; a bare precision name sets
+// every stage; otherwise the string is comma-separated stage=precision
+// assignments with later assignments overriding earlier ones.
+func ParsePolicy(s string) (Policy, error) {
+	var p Policy
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	if t, ok := ParseType(s); ok {
+		p.Encoder, p.Fusion, p.Head = t, t, t
+		return p, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, found := strings.Cut(part, "=")
+		if !found {
+			return Policy{}, fmt.Errorf("precision: assignment %q is not stage=precision (stages: encoder[:modality], fusion, head; precisions: f32, f16, i8)", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		t, ok := ParseType(val)
+		if !ok {
+			return Policy{}, fmt.Errorf("precision: unknown precision %q in %q (want f32, f16 or i8)", val, part)
+		}
+		switch {
+		case key == "all":
+			p.Encoder, p.Fusion, p.Head = t, t, t
+		case key == StageEncoder:
+			p.Encoder = t
+		case key == StageFusion:
+			p.Fusion = t
+		case key == StageHead:
+			p.Head = t
+		case strings.HasPrefix(key, StageEncoder+":"):
+			m := strings.TrimPrefix(key, StageEncoder+":")
+			if m == "" {
+				return Policy{}, fmt.Errorf("precision: empty modality in %q", part)
+			}
+			if p.PerModality == nil {
+				p.PerModality = make(map[string]Type)
+			}
+			p.PerModality[m] = t
+		default:
+			return Policy{}, fmt.Errorf("precision: unknown stage %q in %q (want encoder[:modality], fusion, head or all)", key, part)
+		}
+	}
+	return p, nil
+}

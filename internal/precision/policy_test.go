@@ -1,0 +1,88 @@
+package precision
+
+import "testing"
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in        string
+		canonical string
+		wantErr   bool
+	}{
+		{"", "f32", false},
+		{"f32", "f32", false},
+		{"f16", "encoder=f16,fusion=f16,head=f16", false},
+		{"i8", "encoder=i8,fusion=i8,head=i8", false},
+		{"all=f16", "encoder=f16,fusion=f16,head=f16", false},
+		{"head=i8,fusion=f16", "fusion=f16,head=i8", false},
+		{"fusion=f16, head=i8", "fusion=f16,head=i8", false},
+		{"encoder=f16,encoder:audio=i8", "encoder=f16,encoder:audio=i8", false},
+		{"encoder:image=i8", "encoder:image=i8", false},
+		{"encoder=f16,head=f32", "encoder=f16", false},
+		{"bogus=f16", "", true},
+		{"head=f64", "", true},
+		{"head", "", true},
+		{"encoder:=i8", "", true},
+	} {
+		p, err := ParsePolicy(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParsePolicy(%q): expected error, got %q", tc.in, p)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", tc.in, err)
+			continue
+		}
+		if got := p.String(); got != tc.canonical {
+			t.Errorf("ParsePolicy(%q).String() = %q, want %q", tc.in, got, tc.canonical)
+		}
+		// The canonical form must re-parse to itself (stable cache keys).
+		p2, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Errorf("re-parse %q: %v", p.String(), err)
+		} else if p2.String() != p.String() {
+			t.Errorf("canonical form not a fixed point: %q -> %q", p.String(), p2.String())
+		}
+	}
+}
+
+func TestPolicyFor(t *testing.T) {
+	p, err := ParsePolicy("encoder=f16,encoder:audio=i8,head=i8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		stage, modality string
+		want            Type
+	}{
+		{StageEncoder, "image", F16},
+		{StageEncoder, "audio", I8},
+		{StageFusion, "", F32},
+		{StageHead, "", I8},
+		{"", "", F32},      // between-stages scope
+		{"other", "", F32}, // unknown stage
+	} {
+		if got := p.For(tc.stage, tc.modality); got != tc.want {
+			t.Errorf("For(%q,%q) = %v, want %v", tc.stage, tc.modality, got, tc.want)
+		}
+	}
+}
+
+func TestPolicyAllF32(t *testing.T) {
+	if !(Policy{}).AllF32() {
+		t.Error("zero policy should be all-f32")
+	}
+	p, _ := ParsePolicy("head=f32,encoder:image=f32")
+	if !p.AllF32() {
+		t.Error("explicit f32 assignments should still be all-f32")
+	}
+	p, _ = ParsePolicy("head=i8")
+	if p.AllF32() {
+		t.Error("head=i8 should not be all-f32")
+	}
+	p, _ = ParsePolicy("encoder:audio=f16")
+	if p.AllF32() {
+		t.Error("per-modality f16 should not be all-f32")
+	}
+}

@@ -1,0 +1,199 @@
+// Package precision implements MMBench's mixed-precision execution
+// support: reduced-precision storage formats (IEEE float16 and symmetric
+// per-tensor int8) emulated on top of the float32 substrate, and the
+// per-stage precision policy that selects a format for each network
+// stage (encoder branches, fusion, head).
+//
+// The emulation model mirrors how reduced precision behaves on real
+// accelerators: operands are stored (quantized) in the low-precision
+// grid, multiply-accumulate happens in a wide accumulator (float32 here,
+// standing in for fp32/int32 accumulators), and results are dequantized
+// or re-stored. Float16 conversion uses round-to-nearest-even, the IEEE
+// 754 default; int8 quantization is symmetric per-tensor with a
+// calibrated scale (maxabs/127). Both conversions are pure element-wise
+// functions, so every emulated kernel inherits the engine's
+// bitwise-determinism contract unchanged.
+package precision
+
+import "math"
+
+// Type is a storage/arithmetic precision for one network stage.
+type Type uint8
+
+// Supported precisions. F32 is the zero value: a zero Policy or an
+// unset stage runs the reference float32 kernels bit-for-bit.
+const (
+	F32 Type = iota
+	F16
+	I8
+)
+
+// String returns the flag-syntax name of the precision.
+func (t Type) String() string {
+	switch t {
+	case F16:
+		return "f16"
+	case I8:
+		return "i8"
+	default:
+		return "f32"
+	}
+}
+
+// Bits returns the storage width of the precision in bits.
+func (t Type) Bits() int {
+	switch t {
+	case F16:
+		return 16
+	case I8:
+		return 8
+	default:
+		return 32
+	}
+}
+
+// ParseType parses a precision name ("f32", "f16" or "i8").
+func ParseType(s string) (Type, bool) {
+	switch s {
+	case "f32", "fp32", "float32":
+		return F32, true
+	case "f16", "fp16", "float16", "half":
+		return F16, true
+	case "i8", "int8":
+		return I8, true
+	}
+	return F32, false
+}
+
+// Float16 round-to-nearest-even conversion, via bit manipulation on the
+// float32 representation (the classic branch-light routine). Subnormal
+// float16 results are produced by one float32 addition against a magic
+// constant, which makes the hardware's own RNE rounding do the work:
+// for |x| < 2⁻¹⁴ the sum 0.5+|x| lands in the binade whose ulp is 2⁻²⁴
+// — exactly the float16 subnormal step — so its low mantissa bits are
+// the correctly rounded subnormal payload.
+const (
+	f16ExpBias = 15
+	f32ExpBias = 127
+	// f16DenormMagic is 0.5 as float32 bits: (f32ExpBias-1) << 23.
+	f16DenormMagic = (f32ExpBias - 1) << 23
+	// f16InfBits is the float32 Inf bit pattern (NaN is anything above).
+	f16InfBits = 0x7f800000
+	// f16NormMinBits is the smallest float32 magnitude whose float16
+	// result is normal: 2⁻¹⁴ = (f32ExpBias-14) << 23.
+	f16NormMinBits = (f32ExpBias - 14) << 23
+	// f16OverflowBits is 2¹⁶ as float32 bits: every magnitude at or
+	// above it overflows float16 (values in [65520, 2¹⁶) overflow too,
+	// via the rounding carry in the normal path).
+	f16OverflowBits = (f32ExpBias + 16) << 23
+	// f16ExpAdjust rebiases a float32 exponent to float16:
+	// (f32ExpBias-f16ExpBias) << 23.
+	f16ExpAdjust = (f32ExpBias - f16ExpBias) << 23
+)
+
+// F16Bits converts a float32 to IEEE 754 binary16 bits with
+// round-to-nearest-even. Overflow produces ±Inf; NaN stays NaN.
+func F16Bits(x float32) uint16 {
+	b := math.Float32bits(x)
+	sign := uint16(b>>16) & 0x8000
+	b &= 0x7fffffff
+
+	if b > f16InfBits { // NaN
+		return sign | 0x7e00 // quiet NaN
+	}
+	if b >= f16OverflowBits { // Inf, or finite overflow → Inf
+		return sign | 0x7c00
+	}
+	if b < f16NormMinBits { // subnormal float16 (or zero)
+		f := math.Float32frombits(b) + math.Float32frombits(f16DenormMagic)
+		return sign | uint16(math.Float32bits(f)-f16DenormMagic)
+	}
+	// Normal: round the 13 dropped mantissa bits to nearest-even (add
+	// 0x0fff plus the kept lsb), then rebias the exponent. A mantissa
+	// carry rolls into the exponent, which converts values in
+	// [65520, 65536) to +Inf — the correct RNE result.
+	b += 0xfff + ((b >> 13) & 1)
+	return sign | uint16((b-f16ExpAdjust)>>13)
+}
+
+// F16Value converts IEEE 754 binary16 bits to float32 (exact).
+func F16Value(bits uint16) float32 {
+	sign := uint32(bits&0x8000) << 16
+	exp := uint32(bits>>10) & 0x1f
+	mant := uint32(bits & 0x3ff)
+	switch exp {
+	case 0:
+		// ±0 or subnormal: mant · 2⁻²⁴, exactly representable in f32.
+		f := float32(mant) * (1.0 / (1 << 24))
+		return math.Float32frombits(math.Float32bits(f) | sign)
+	case 0x1f:
+		if mant != 0 {
+			return float32(math.NaN())
+		}
+		return math.Float32frombits(sign | f16InfBits)
+	default:
+		return math.Float32frombits(sign | (exp+f32ExpBias-f16ExpBias)<<23 | mant<<13)
+	}
+}
+
+// RoundF16 rounds a float32 through the float16 grid (round-to-nearest-
+// even, the storage emulation step of an f16 kernel).
+func RoundF16(x float32) float32 { return F16Value(F16Bits(x)) }
+
+// RoundF16Slice stores dst[i] = RoundF16(src[i]). dst and src may alias.
+func RoundF16Slice(dst, src []float32) {
+	for i, x := range src {
+		dst[i] = RoundF16(x)
+	}
+}
+
+// MaxAbs returns the largest magnitude in xs (0 for an empty slice).
+// NaNs are ignored; an Inf saturates the calibration. The reduction is
+// order-independent, so it may be computed serially or in chunks.
+func MaxAbs(xs []float32) float32 {
+	var m float32
+	for _, x := range xs {
+		if a := float32(math.Abs(float64(x))); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// I8Scale returns the symmetric per-tensor quantization scale for a
+// tensor whose largest magnitude is maxAbs: the step between adjacent
+// int8 levels so that ±maxAbs maps to ±127. A zero (or non-finite)
+// maxAbs returns 1 so quantizing a zero tensor is a no-op.
+func I8Scale(maxAbs float32) float32 {
+	if maxAbs == 0 || math.IsInf(float64(maxAbs), 0) || math.IsNaN(float64(maxAbs)) {
+		return 1
+	}
+	return maxAbs / 127
+}
+
+// QuantizeI8 stores dst[i] = clamp(rne(src[i]/scale), -127, 127): the
+// integer quantization level of each element, kept in float32 so the
+// engine's f32 kernels can accumulate integer products exactly (products
+// are ≤ 127·127 and float32 holds integers exactly up to 2²⁴ — the
+// emulated analogue of an int8×int8→int32 MAC). dst and src may alias.
+// Dequantize by multiplying accumulated results with the scales.
+func QuantizeI8(dst, src []float32, scale float32) {
+	inv := 1 / scale
+	for i, x := range src {
+		q := float32(math.RoundToEven(float64(x * inv)))
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		dst[i] = q
+	}
+}
+
+// DequantizeI8 stores dst[i] = src[i]·scale, mapping quantization levels
+// back to real values. dst and src may alias.
+func DequantizeI8(dst, src []float32, scale float32) {
+	for i, x := range src {
+		dst[i] = x * scale
+	}
+}

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// waitForJob polls a sweep job to completion and returns its result
+// table as a generic JSON object.
+func waitForJob(t *testing.T, baseURL, jobID string) map[string]any {
+	t.Helper()
+	var job JobResponse
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, baseURL+"/v1/jobs/"+jobID, &job)
+		if job.Status == "done" || job.Status == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", job.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if job.Status != "done" {
+		t.Fatalf("job failed: %s", job.Error)
+	}
+	raw, err := json.Marshal(job.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var table map[string]any
+	if err := json.Unmarshal(raw, &table); err != nil {
+		t.Fatalf("job result is not a table: %s", raw)
+	}
+	return table
+}
+
+// /v1/run must accept a precision policy, echo its canonical form in
+// the report, and measure the output error for eager runs; /v1/stats
+// must expose the precision block with the kernel counters.
+func TestRunEndpointPrecision(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var out struct {
+		Report struct {
+			Precision     string  `json:"Precision"`
+			OutputErrMax  float64 `json:"OutputErrMax"`
+			OutputErrMean float64 `json:"OutputErrMean"`
+		} `json:"report"`
+	}
+	resp := postJSON(t, ts.URL+"/v1/run",
+		`{"workload":"avmnist","batch":4,"eager":true,"precision":"head=i8,fusion=f16"}`, &out)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Report.Precision != "fusion=f16,head=i8" {
+		t.Fatalf("report precision %q, want canonical fusion=f16,head=i8", out.Report.Precision)
+	}
+	if out.Report.OutputErrMax <= 0 || out.Report.OutputErrMax > 0.1 {
+		t.Fatalf("output error %g outside (0, 0.1]", out.Report.OutputErrMax)
+	}
+	if out.Report.OutputErrMean <= 0 || out.Report.OutputErrMean > out.Report.OutputErrMax {
+		t.Fatalf("mean error %g vs max %g", out.Report.OutputErrMean, out.Report.OutputErrMax)
+	}
+
+	var stats Stats
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Precision.Default != "f32" {
+		t.Fatalf("default precision %q, want f32", stats.Precision.Default)
+	}
+	if stats.Precision.F16Kernels <= 0 || stats.Precision.I8Kernels <= 0 {
+		t.Fatalf("precision counters did not move: %+v", stats.Precision)
+	}
+
+	// A default run must not gain the precision fields.
+	var plain struct {
+		Report map[string]any `json:"report"`
+	}
+	postJSON(t, ts.URL+"/v1/run", `{"workload":"avmnist","batch":4}`, &plain)
+	for _, field := range []string{"Precision", "OutputErrMax", "OutputErrMean"} {
+		if _, ok := plain.Report[field]; ok {
+			t.Errorf("default run report unexpectedly carries %q", field)
+		}
+	}
+}
+
+// A bad policy must be a 400 with a parse error, not a cached failure.
+func TestRunEndpointBadPrecision(t *testing.T) {
+	_, ts := newTestServer(t)
+	var e struct {
+		Error string `json:"error"`
+	}
+	resp := postJSON(t, ts.URL+"/v1/run", `{"workload":"avmnist","precision":"head=f64"}`, &e)
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if e.Error == "" {
+		t.Fatal("no error body")
+	}
+}
+
+// The server-wide -precision default applies to requests that omit the
+// field, and requests may still override it (including back to f32).
+func TestServerDefaultPrecision(t *testing.T) {
+	s := New(Options{Workers: 2, CacheBytes: 8 << 20, DefaultPrecision: "head=i8"})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close(context.Background())
+	})
+
+	var out struct {
+		Report struct {
+			Precision string `json:"Precision"`
+		} `json:"report"`
+	}
+	postJSON(t, ts.URL+"/v1/run", `{"workload":"avmnist","batch":4}`, &out)
+	if out.Report.Precision != "head=i8" {
+		t.Fatalf("defaulted precision %q, want head=i8", out.Report.Precision)
+	}
+	out.Report.Precision = "" // omitted fields keep stale values otherwise
+	postJSON(t, ts.URL+"/v1/run", `{"workload":"avmnist","batch":4,"precision":"f32"}`, &out)
+	if out.Report.Precision != "" {
+		t.Fatalf("override to f32 gave %q, want empty", out.Report.Precision)
+	}
+
+	var stats Stats
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Precision.Default != "head=i8" {
+		t.Fatalf("stats default %q, want head=i8", stats.Precision.Default)
+	}
+
+	// Sweeps that omit precisions honor the same server default, and
+	// surface it as the Precision column.
+	var accepted struct {
+		JobID string `json:"job_id"`
+	}
+	postJSON(t, ts.URL+"/v1/sweep",
+		`{"workload":"avmnist","devices":["2080ti"],"batches":[4]}`, &accepted)
+	table := waitForJob(t, ts.URL, accepted.JobID)
+	rows, ok := table["rows"].([]any)
+	if !ok || len(rows) != 1 {
+		t.Fatalf("sweep rows %v, want 1", table["rows"])
+	}
+	row, ok := rows[0].([]any)
+	if !ok || len(row) < 3 || row[2] != "head=i8" {
+		t.Fatalf("defaulted sweep row %v, want precision column head=i8", rows[0])
+	}
+}
+
+// /v1/sweep accepts the precision axis and produces the extended table.
+func TestSweepEndpointPrecision(t *testing.T) {
+	_, ts := newTestServer(t)
+	var accepted struct {
+		JobID string `json:"job_id"`
+	}
+	resp := postJSON(t, ts.URL+"/v1/sweep",
+		`{"workload":"avmnist","devices":["2080ti"],"batches":[4],"precisions":["f32","f16"],"eager":true}`, &accepted)
+	if resp.StatusCode != 202 {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	table := waitForJob(t, ts.URL, accepted.JobID)
+	cols, ok := table["columns"].([]any)
+	if !ok {
+		t.Fatalf("job result has no columns: %v", table)
+	}
+	var hasPrecision, hasErr bool
+	for _, c := range cols {
+		switch c {
+		case "Precision":
+			hasPrecision = true
+		case "Max |err| vs f32":
+			hasErr = true
+		}
+	}
+	if !hasPrecision || !hasErr {
+		t.Fatalf("sweep table missing precision columns: %v", cols)
+	}
+	if rows, ok := table["rows"].([]any); !ok || len(rows) != 2 {
+		t.Fatalf("sweep rows %v, want 2", table["rows"])
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"mmbench/internal/jobs"
 	"mmbench/internal/mmnet"
 	"mmbench/internal/ops"
+	"mmbench/internal/precision"
 	"mmbench/internal/resultcache"
 )
 
@@ -36,14 +37,19 @@ type Options struct {
 	QueueCap int
 	// CacheBytes is the result cache budget (default: 64 MiB).
 	CacheBytes int64
+	// DefaultPrecision is the storage-precision policy applied to
+	// requests that do not set their own "precision" field (the
+	// -precision flag of mmbench serve). Empty means float32.
+	DefaultPrecision string
 }
 
 // Server is the benchmark service.
 type Server struct {
-	runner *mmbench.CachedRunner
-	pool   *jobs.Pool
-	mux    *http.ServeMux
-	start  time.Time
+	runner           *mmbench.CachedRunner
+	pool             *jobs.Pool
+	mux              *http.ServeMux
+	start            time.Time
+	defaultPrecision string
 
 	mu        sync.Mutex
 	requests  uint64
@@ -72,11 +78,12 @@ func New(opts Options) *Server {
 		opts.CacheBytes = 64 << 20
 	}
 	s := &Server{
-		runner:    mmbench.NewCachedRunner(opts.CacheBytes),
-		pool:      jobs.NewPool(opts.Workers, opts.QueueCap),
-		mux:       http.NewServeMux(),
-		start:     time.Now(),
-		latencies: make([]float64, latencyWindow),
+		runner:           mmbench.NewCachedRunner(opts.CacheBytes),
+		pool:             jobs.NewPool(opts.Workers, opts.QueueCap),
+		mux:              http.NewServeMux(),
+		start:            time.Now(),
+		latencies:        make([]float64, latencyWindow),
+		defaultPrecision: opts.DefaultPrecision,
 	}
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
@@ -184,12 +191,22 @@ type RunRequest struct {
 	PaperScale *bool  `json:"paper_scale,omitempty"`
 	Eager      bool   `json:"eager,omitempty"`
 	Seed       int64  `json:"seed,omitempty"`
+	// Precision is the per-stage storage-precision policy in flag
+	// syntax ("f16", "head=i8,fusion=f16", …). Empty falls back to the
+	// server's -precision default, then to float32. The report echoes
+	// the canonical policy and, for eager runs, the output error versus
+	// the f32 reference.
+	Precision string `json:"precision,omitempty"`
 }
 
-func (rr RunRequest) config() mmbench.RunConfig {
+func (rr RunRequest) config(defaultPrecision string) mmbench.RunConfig {
 	paper := true
 	if rr.PaperScale != nil {
 		paper = *rr.PaperScale
+	}
+	prec := rr.Precision
+	if prec == "" {
+		prec = defaultPrecision
 	}
 	return mmbench.RunConfig{
 		Workload:   rr.Workload,
@@ -199,6 +216,7 @@ func (rr RunRequest) config() mmbench.RunConfig {
 		PaperScale: paper,
 		Eager:      rr.Eager,
 		Seed:       rr.Seed,
+		Precision:  prec,
 	}
 }
 
@@ -210,7 +228,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	begin := time.Now()
-	rep, err := s.runner.Run(req.config())
+	rep, err := s.runner.Run(req.config(s.defaultPrecision))
 	if err != nil {
 		// The model is deterministic: a failed run is a config problem,
 		// not a transient one.
@@ -228,6 +246,12 @@ type SweepRequest struct {
 	Devices  []string `json:"devices"`
 	Batches  []int    `json:"batches"`
 	Tasks    int      `json:"tasks,omitempty"`
+	// Precisions adds a storage-precision axis to the grid (one row per
+	// device × batch × policy) plus a max-error column; Eager and Seed
+	// execute the grid numerically so the error column is measured.
+	Precisions []string `json:"precisions,omitempty"`
+	Eager      bool     `json:"eager,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -237,12 +261,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, http.StatusBadRequest, "bad sweep request: %v", err)
 		return
 	}
+	// Like /v1/run, a sweep that does not choose precisions falls back
+	// to the server-wide -precision default (when that default is a
+	// real policy): the grid gains its Precision column so the applied
+	// default is visible in the result.
+	if len(req.Precisions) == 0 {
+		if pol, err := precision.ParsePolicy(s.defaultPrecision); err == nil && !pol.AllF32() {
+			req.Precisions = []string{s.defaultPrecision}
+		}
+	}
 	fns, assemble, err := mmbench.SweepJob(mmbench.SweepConfig{
-		Workload: req.Workload,
-		Variant:  req.Variant,
-		Devices:  req.Devices,
-		Batches:  req.Batches,
-		Tasks:    req.Tasks,
+		Workload:   req.Workload,
+		Variant:    req.Variant,
+		Devices:    req.Devices,
+		Batches:    req.Batches,
+		Tasks:      req.Tasks,
+		Precisions: req.Precisions,
+		Eager:      req.Eager,
+		Seed:       req.Seed,
 	}, s.runner.Run)
 	if err != nil {
 		s.writeErr(w, r, http.StatusBadRequest, "%v", err)
@@ -310,6 +346,7 @@ type Stats struct {
 	Engine        EngineStats    `json:"engine"`
 	Attention     AttentionStats `json:"attention"`
 	Branches      BranchStats    `json:"branches"`
+	Precision     PrecisionStats `json:"precision"`
 }
 
 // LatencyStats are percentiles over the recent /v1/run window.
@@ -347,6 +384,17 @@ type AttentionStats struct {
 	ops.AttentionActivity
 }
 
+// PrecisionStats reports mixed-precision execution: the server's
+// default policy (requests may override per call) and the process-wide
+// low-precision kernel counters — see cmd/mmbench serve's -precision
+// flag and the RunRequest precision field.
+type PrecisionStats struct {
+	// Default is the canonical form of the server-wide policy ("f32"
+	// when unset).
+	Default string `json:"default"`
+	ops.PrecisionActivity
+}
+
 // BranchStats reports the modality-parallel branch executor: the
 // process default toggle, forward/backward join counters, and the
 // engine activity of the branch sub-engines (whose worker budget is
@@ -359,6 +407,17 @@ type BranchStats struct {
 	// Engine is the branch-only subset of the top-level engine block:
 	// work executed on the branch sub-engines.
 	Engine engine.Stats `json:"engine"`
+}
+
+// canonicalDefaultPrecision renders the server's default policy in
+// canonical flag syntax ("f32" when unset or unparseable — the latter
+// cannot happen via cmd/mmbench, which validates the flag at startup).
+func (s *Server) canonicalDefaultPrecision() string {
+	pol, err := precision.ParsePolicy(s.defaultPrecision)
+	if err != nil {
+		return "f32"
+	}
+	return pol.String()
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -392,6 +451,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Parallel:       !ops.DefaultSequentialBranches(),
 			BranchActivity: mmnet.BranchStats(),
 			Engine:         engine.BranchEngineStats(),
+		},
+		Precision: PrecisionStats{
+			Default:           s.canonicalDefaultPrecision(),
+			PrecisionActivity: ops.PrecisionStats(),
 		},
 		Jobs: map[string]int{
 			"queued":  counts.Queued,

@@ -11,6 +11,7 @@ import (
 	"mmbench/internal/engine"
 	"mmbench/internal/mmnet"
 	"mmbench/internal/ops"
+	"mmbench/internal/precision"
 	"mmbench/internal/tensor"
 )
 
@@ -116,6 +117,13 @@ type Config struct {
 	// bitwise identical either way: dropout streams are per-branch in
 	// both paths, and branch backward segments are disjoint.
 	SequentialBranches bool
+	// Precision is the per-stage storage-precision policy. Forward
+	// GEMM-family kernels run at the stage's assigned precision;
+	// gradients and optimizer state stay float32 against the
+	// full-precision master weights (straight-through estimation), the
+	// standard mixed-precision training arrangement. The zero policy
+	// trains bit-identically to the reference float32 path.
+	Precision precision.Policy
 }
 
 // DefaultConfig returns a quick-converging configuration for the planted
@@ -162,6 +170,7 @@ func Fit(n *mmnet.Network, cfg Config) Result {
 				Tape: tape, Training: true, RNG: rng, Eng: cfg.Engine,
 				UnfusedAttention:   cfg.UnfusedAttention,
 				SequentialBranches: cfg.SequentialBranches,
+				Precision:          cfg.Precision,
 			}
 			out := n.Forward(c, b)
 			loss := n.Loss(c, out, b)
@@ -182,10 +191,11 @@ func Evaluate(n *mmnet.Network, rng *tensor.RNG, nBatches, batchSize int) Result
 }
 
 // EvaluateWith is Evaluate under an explicit execution configuration:
-// cfg's Engine (nil = default), UnfusedAttention and SequentialBranches
-// select the compute engine, attention path and branch schedule, so an
-// A/B evaluation does not need the process-wide toggles. The schedule
-// fields of cfg (epochs, steps, LR) are ignored.
+// cfg's Engine (nil = default), UnfusedAttention, SequentialBranches
+// and Precision select the compute engine, attention path, branch
+// schedule and storage-precision policy, so an A/B evaluation does not
+// need the process-wide toggles. The schedule fields of cfg (epochs,
+// steps, LR) are ignored.
 func EvaluateWith(n *mmnet.Network, cfg Config, rng *tensor.RNG, nBatches, batchSize int) Result {
 	var metric float64
 	for i := 0; i < nBatches; i++ {
@@ -194,6 +204,7 @@ func EvaluateWith(n *mmnet.Network, cfg Config, rng *tensor.RNG, nBatches, batch
 			Eng:                cfg.Engine,
 			UnfusedAttention:   cfg.UnfusedAttention,
 			SequentialBranches: cfg.SequentialBranches,
+			Precision:          cfg.Precision,
 		}, b)
 		metric += BatchMetric(n.Task, out, b)
 	}

@@ -30,6 +30,7 @@ import (
 	"mmbench/internal/kernels"
 	"mmbench/internal/metrics"
 	"mmbench/internal/mmnet"
+	"mmbench/internal/precision"
 	"mmbench/internal/report"
 	"mmbench/internal/train"
 	"mmbench/internal/workloads"
@@ -99,6 +100,11 @@ type RunConfig struct {
 	Eager bool
 	// Seed drives eager-mode data generation.
 	Seed int64
+	// Precision is the per-stage storage-precision policy in flag
+	// syntax, e.g. "f16" or "head=i8,fusion=f16" (see
+	// internal/precision.ParsePolicy). Empty means all-float32, the
+	// reference path.
+	Precision string
 }
 
 // StageStat summarizes one execution stage.
@@ -136,6 +142,16 @@ type Report struct {
 	CPUShare float64
 	Kernels  int
 
+	// Precision is the canonical form of the run's storage-precision
+	// policy; empty for the all-float32 default. For eager runs under a
+	// non-trivial policy, OutputErrMax/OutputErrMean report the largest
+	// and mean absolute output-element error versus a float32 reference
+	// forward over the same batch (analytic runs have no numerics, so
+	// the fields stay zero).
+	Precision     string  `json:",omitempty"`
+	OutputErrMax  float64 `json:",omitempty"`
+	OutputErrMean float64 `json:",omitempty"`
+
 	Stages []StageStat
 	// ModalitySeconds is encoder kernel time per modality.
 	ModalitySeconds map[string]float64
@@ -166,25 +182,39 @@ func Run(cfg RunConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	pol, err := precision.ParsePolicy(cfg.Precision)
+	if err != nil {
+		return nil, err
+	}
 	res, err := core.BuildAndRun(cfg.Workload, cfg.Variant, cfg.PaperScale, core.RunOptions{
 		Device:    dev,
 		BatchSize: cfg.BatchSize,
 		Eager:     cfg.Eager,
 		Seed:      cfg.Seed,
+		Precision: pol,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return buildReport(cfg, devName, res), nil
+	return buildReport(cfg, devName, pol, res), nil
 }
 
-func buildReport(cfg RunConfig, devName string, res *core.RunResult) *Report {
+func buildReport(cfg RunConfig, devName string, pol precision.Policy, res *core.RunResult) *Report {
 	tr := res.Trace
+	var polName string
+	if !pol.AllF32() {
+		// The canonical form only for non-trivial policies, so default
+		// reports (and their JSON) are unchanged by precision support.
+		polName = pol.String()
+	}
 	r := &Report{
 		Workload:        cfg.Workload,
 		Variant:         cfg.Variant,
 		Device:          devName,
 		Batch:           batchOf(cfg),
+		Precision:       polName,
+		OutputErrMax:    res.OutputErrMax,
+		OutputErrMean:   res.OutputErrMean,
 		LatencySeconds:  res.Latency,
 		GPUSeconds:      tr.GPUBusy(),
 		HostSeconds:     tr.HostBusy,
@@ -257,6 +287,10 @@ type TrainConfig struct {
 	BatchSize     int
 	LR            float64
 	Seed          int64
+	// Precision is the per-stage storage-precision policy in flag
+	// syntax (empty = all-float32). Forward kernels run at the assigned
+	// precision; gradients and optimizer state stay float32.
+	Precision string
 }
 
 // TrainResult reports a trained variant's evaluation.
@@ -300,6 +334,10 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 	}
 	if cfg.Seed != 0 {
 		tcfg.Seed = cfg.Seed
+	}
+	tcfg.Precision, err = precision.ParsePolicy(cfg.Precision)
+	if err != nil {
+		return nil, err
 	}
 	res := train.Fit(n, tcfg)
 	return &TrainResult{

@@ -1,0 +1,76 @@
+package mmbench
+
+import (
+	"strings"
+	"testing"
+)
+
+// A precision sweep adds the Precision and max-error columns, one row
+// per (device, batch, policy), with equivalent policy spellings
+// deduplicated into one execution.
+func TestSweepPrecisionAxis(t *testing.T) {
+	execs := 0
+	counting := func(cfg RunConfig) (*Report, error) {
+		execs++
+		return Run(cfg)
+	}
+	tbl, err := RunSweep(SweepConfig{
+		Workload:   "avmnist",
+		Devices:    []string{"2080ti"},
+		Batches:    []int{8},
+		Precisions: []string{"f32", "f16", "head=i8,fusion=f16", "fusion=f16,head=i8"},
+		Eager:      true,
+		Seed:       3,
+	}, counting, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []string{"Device", "Batch", "Precision", "Latency (ms)", "GPU (ms)", "CPU+Runtime", "Intermediate (MB)", "Max |err| vs f32"}
+	if strings.Join(tbl.Columns, "|") != strings.Join(wantCols, "|") {
+		t.Fatalf("columns %v, want %v", tbl.Columns, wantCols)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (one per policy)", len(tbl.Rows))
+	}
+	// The two spellings of head=i8,fusion=f16 share one execution.
+	if execs != 3 {
+		t.Fatalf("executed %d configs, want 3 after policy dedup", execs)
+	}
+	byPolicy := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byPolicy[row[2]] = row
+	}
+	if row, ok := byPolicy["f32"]; !ok || row[7] != "-" {
+		t.Errorf("f32 row missing or has a measured error: %v", row)
+	}
+	for _, pol := range []string{"encoder=f16,fusion=f16,head=f16", "fusion=f16,head=i8"} {
+		row, ok := byPolicy[pol]
+		if !ok {
+			t.Errorf("no row for canonical policy %q (have %v)", pol, tbl.Rows)
+			continue
+		}
+		if row[7] == "-" || row[7] == "0" {
+			t.Errorf("%s: eager sweep should measure a non-zero error, got %q", pol, row[7])
+		}
+	}
+}
+
+// Without Precisions the sweep must keep its historical shape — no new
+// columns, one row per (device, batch).
+func TestSweepWithoutPrecisionUnchanged(t *testing.T) {
+	tbl, err := RunSweep(SweepConfig{
+		Workload: "avmnist",
+		Devices:  []string{"2080ti"},
+		Batches:  []int{8, 16},
+	}, Run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Device", "Batch", "Latency (ms)", "GPU (ms)", "CPU+Runtime", "Intermediate (MB)"}
+	if strings.Join(tbl.Columns, "|") != strings.Join(want, "|") {
+		t.Fatalf("columns %v, want %v", tbl.Columns, want)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tbl.Rows))
+	}
+}

@@ -4,8 +4,13 @@
 #
 # Usage: scripts/bench_ops.sh [output-file]
 #
-# Runs the kernel benchmarks of internal/ops and internal/engine with
-# -benchmem and converts `go test` output into a stable JSON document.
+# Runs the kernel benchmarks of internal/ops, internal/engine and
+# internal/mmnet with -benchmem and converts `go test` output into a
+# stable JSON document. This includes the mixed-precision pair
+# (BenchmarkMatMulI8, BenchmarkAttentionF16), which tracks the
+# quantize/dequantize overhead of the emulated low-precision kernels
+# against their f32 baselines (BenchmarkEngineMatMul,
+# BenchmarkAttentionFused).
 # Benchmark wall times are machine-dependent; the baseline is meant for
 # relative comparisons on one machine (e.g. CI runners of the same
 # class), not absolute thresholds.

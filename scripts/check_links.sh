@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# check_links.sh — verify that every local markdown link in README.md
+# and docs/ resolves to an existing file or directory.
+#
+# Usage: scripts/check_links.sh [files...]
+#
+# External (http/https/mailto) links and pure #anchors are skipped; the
+# check is offline by design so CI never flakes on the network. Links
+# are resolved relative to the file that contains them.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+files="${*:-}"
+if [ -z "$files" ]; then
+	files="README.md $(find docs -name '*.md' 2>/dev/null || true)"
+fi
+
+status=0
+for f in $files; do
+	[ -f "$f" ] || { echo "check_links: no such file $f" >&2; status=1; continue; }
+	dir="$(dirname "$f")"
+	# Extract markdown link targets: [text](target). One per line; inline
+	# code and images share the same syntax and are checked alike.
+	targets="$(grep -o '](\([^)]*\))' "$f" | sed 's/^](//; s/)$//' || true)"
+	for t in $targets; do
+		case "$t" in
+		http://*|https://*|mailto:*|\#*) continue ;;
+		esac
+		# Strip a trailing #anchor from local links.
+		path="${t%%#*}"
+		[ -n "$path" ] || continue
+		if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+			echo "check_links: $f -> broken link: $t" >&2
+			status=1
+		fi
+	done
+done
+
+if [ "$status" -eq 0 ]; then
+	echo "check_links: all local links resolve"
+fi
+exit "$status"

@@ -22,6 +22,19 @@ type SweepConfig struct {
 	// partial batch is charged at its own modeled latency, not a full
 	// batch's.
 	Tasks int
+	// Precisions, when non-empty, adds a storage-precision axis to the
+	// grid: one row per (device, batch, policy), each policy in the
+	// -precision flag syntax ("f32", "f16", "head=i8,fusion=f16", …).
+	// The table gains a Precision column and, for eager sweeps, a
+	// max-output-error column against the f32 reference. An empty list
+	// sweeps float32 only and renders the exact pre-mixed-precision
+	// table.
+	Precisions []string
+	// Eager executes real numerics instead of the analytic abstraction,
+	// with Seed driving data generation — required for measured (rather
+	// than modeled) precision comparisons.
+	Eager bool
+	Seed  int64
 }
 
 // SweepJob expands a sweep into one closure per distinct configuration
@@ -49,6 +62,11 @@ func SweepJob(cfg SweepConfig, run func(RunConfig) (*Report, error)) ([]jobs.Fn,
 		main    int // index into configs
 		partial int // index into configs, or -1
 	}
+	precisions := cfg.Precisions
+	withPrecision := len(precisions) > 0
+	if !withPrecision {
+		precisions = []string{""} // float32 only, no extra columns
+	}
 	var (
 		configs []RunConfig
 		index   = map[string]int{}
@@ -65,20 +83,25 @@ func SweepJob(cfg SweepConfig, run func(RunConfig) (*Report, error)) ([]jobs.Fn,
 	}
 	for _, dev := range cfg.Devices {
 		for _, batch := range cfg.Batches {
-			rc := RunConfig{
-				Workload:   cfg.Workload,
-				Variant:    cfg.Variant,
-				Device:     strings.TrimSpace(dev),
-				BatchSize:  batch,
-				PaperScale: true,
+			for _, pol := range precisions {
+				rc := RunConfig{
+					Workload:   cfg.Workload,
+					Variant:    cfg.Variant,
+					Device:     strings.TrimSpace(dev),
+					BatchSize:  batch,
+					PaperScale: true,
+					Eager:      cfg.Eager,
+					Seed:       cfg.Seed,
+					Precision:  strings.TrimSpace(pol),
+				}
+				r := row{batch: batch, main: add(rc), partial: -1}
+				if rem := remainder(cfg.Tasks, batch); rem > 0 {
+					prc := rc
+					prc.BatchSize = rem
+					r.partial = add(prc)
+				}
+				rows = append(rows, r)
 			}
-			r := row{batch: batch, main: add(rc), partial: -1}
-			if rem := remainder(cfg.Tasks, batch); rem > 0 {
-				prc := rc
-				prc.BatchSize = rem
-				r.partial = add(prc)
-			}
-			rows = append(rows, r)
 		}
 	}
 
@@ -100,17 +123,41 @@ func SweepJob(cfg SweepConfig, run func(RunConfig) (*Report, error)) ([]jobs.Fn,
 			}
 			reports[i] = rep
 		}
-		cols := []string{"Device", "Batch", "Latency (ms)", "GPU (ms)", "CPU+Runtime", "Intermediate (MB)"}
+		cols := []string{"Device", "Batch"}
+		if withPrecision {
+			cols = append(cols, "Precision")
+		}
+		cols = append(cols, "Latency (ms)", "GPU (ms)", "CPU+Runtime", "Intermediate (MB)")
+		if withPrecision {
+			// The accuracy-delta axis: largest output-element error of
+			// the low-precision run versus the f32 reference. Only eager
+			// rows have numerics to compare; analytic rows (and f32
+			// rows) show "-".
+			cols = append(cols, "Max |err| vs f32")
+		}
 		if cfg.Tasks > 0 {
 			cols = append(cols, fmt.Sprintf("Total for %d tasks (s)", cfg.Tasks))
 		}
 		t := report.NewTable(fmt.Sprintf("Sweep: %s/%s", cfg.Workload, cfg.Variant), cols...)
 		for _, r := range rows {
 			rep := reports[r.main]
-			cells := []string{
-				rep.Device, strconv.Itoa(r.batch),
+			cells := []string{rep.Device, strconv.Itoa(r.batch)}
+			if withPrecision {
+				pol := rep.Precision
+				if pol == "" {
+					pol = "f32"
+				}
+				cells = append(cells, pol)
+			}
+			cells = append(cells,
 				report.Ms(rep.LatencySeconds), report.Ms(rep.GPUSeconds),
-				report.Pct(rep.CPUShare), report.F(rep.Memory.Intermediate),
+				report.Pct(rep.CPUShare), report.F(rep.Memory.Intermediate))
+			if withPrecision {
+				errCell := "-"
+				if cfg.Eager && rep.Precision != "" {
+					errCell = report.F(rep.OutputErrMax)
+				}
+				cells = append(cells, errCell)
 			}
 			if cfg.Tasks > 0 {
 				total := rep.LatencySeconds * float64(cfg.Tasks/r.batch)
