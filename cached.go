@@ -25,19 +25,51 @@ func NewCachedRunner(capacityBytes int64) *CachedRunner {
 	return &CachedRunner{cache: resultcache.New(capacityBytes)}
 }
 
+// cachedRun is a cache entry: the report plus the per-stage wall-clock
+// milliseconds measured when the entry was produced (nil for analytic
+// runs). Caching them together keeps Run and RunProfiled on one cache
+// key — profiling is a pure observer, so it never forks entries.
+type cachedRun struct {
+	rep     *Report
+	stageMs map[string]float64
+}
+
 // Run is the cached equivalent of the package-level Run.
 func (cr *CachedRunner) Run(cfg RunConfig) (*Report, error) {
+	v, err := cr.do(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return v.rep, nil
+}
+
+// RunProfiled is the cached equivalent of the package-level
+// RunProfiled. Cache hits return the stage latencies measured when the
+// entry was executed; only real executions observe into the
+// process-wide stage histograms, so hits never skew the distributions.
+func (cr *CachedRunner) RunProfiled(cfg RunConfig) (*Report, map[string]float64, error) {
+	v, err := cr.do(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.rep, v.stageMs, nil
+}
+
+func (cr *CachedRunner) do(cfg RunConfig) (*cachedRun, error) {
 	v, err := cr.cache.Do(cfg.cacheKey(), func() (any, int64, error) {
-		rep, err := Run(cfg)
+		// Eager executions are profiled unconditionally (the profiler is
+		// a pure observer), so every real run — sweeps included — feeds
+		// the per-stage latency histograms behind /metrics.
+		rep, stageMs, err := RunProfiled(cfg)
 		if err != nil {
 			return nil, 0, err
 		}
-		return rep, reportBytes(rep), nil
+		return &cachedRun{rep: rep, stageMs: stageMs}, reportBytes(rep), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*Report), nil
+	return v.(*cachedRun), nil
 }
 
 // Stats snapshots the cache counters (hits, misses, executions,

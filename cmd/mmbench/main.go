@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"mmbench"
 	"mmbench/internal/engine"
+	"mmbench/internal/obs"
 	"mmbench/internal/ops"
 	"mmbench/internal/precision"
 	"mmbench/internal/report"
@@ -181,16 +183,20 @@ func cmdRun(args []string) error {
 	branchPar := branchParallelFlag(fs)
 	precPolicy := precisionFlag(fs)
 	seed := fs.Int64("seed", 0, "eager-mode data seed (0 = suite default)")
+	traceOut := traceOutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := validatePrecision(*precPolicy); err != nil {
 		return err
 	}
+	if *traceOut != "" && !*eager {
+		return fmt.Errorf("-trace-out requires -eager: analytic runs execute no kernels to time")
+	}
 	configureCompute(*computeWorkers, 1)
 	configureAttention(*unfusedAttn)
 	configureBranches(*branchPar)
-	rep, err := mmbench.Run(mmbench.RunConfig{
+	cfg := mmbench.RunConfig{
 		Workload:   *workload,
 		Variant:    *variant,
 		Device:     *dev,
@@ -199,11 +205,70 @@ func cmdRun(args []string) error {
 		Eager:      *eager,
 		Seed:       *seed,
 		Precision:  *precPolicy,
-	})
+	}
+	if *traceOut == "" {
+		rep, err := mmbench.Run(cfg)
+		if err != nil {
+			return err
+		}
+		return renderReport(rep, *format)
+	}
+	prof := obs.NewProfiler()
+	prof.CaptureEngineTasks()
+	rep, stageMs, err := mmbench.RunWithProfiler(cfg, prof)
+	if err != nil {
+		prof.Finish()
+		return err
+	}
+	if err := writeChromeTrace(*traceOut, prof.Finish()); err != nil {
+		return err
+	}
+	if err := renderReport(rep, *format); err != nil {
+		return err
+	}
+	printStageLatency(stageMs)
+	return nil
+}
+
+// traceOutFlag registers the -trace-out flag shared by run and train.
+func traceOutFlag(fs *flag.FlagSet) *string {
+	return fs.String("trace-out", "",
+		"write a Chrome trace-event JSON file of the measured eager execution (open in Perfetto or chrome://tracing); run requires -eager")
+}
+
+// writeChromeTrace exports a sealed profile to path.
+func writeChromeTrace(path string, pr *obs.Profile) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	return renderReport(rep, *format)
+	if err := pr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mmbench: wrote trace with %d spans to %s\n",
+		len(pr.Spans)+len(pr.EngineSpans), path)
+	return nil
+}
+
+// printStageLatency renders the measured per-stage wall times beside
+// the (modeled) report tables.
+func printStageLatency(stageMs map[string]float64) {
+	if len(stageMs) == 0 {
+		return
+	}
+	stages := make([]string, 0, len(stageMs))
+	for stage := range stageMs {
+		stages = append(stages, stage)
+	}
+	sort.Strings(stages)
+	fmt.Println("Measured stage wall time (eager):")
+	for _, stage := range stages {
+		fmt.Printf("  %-9s %.3f ms\n", stage, stageMs[stage])
+	}
 }
 
 func renderReport(r *mmbench.Report, format string) error {
@@ -261,6 +326,7 @@ func cmdTrain(args []string) error {
 	unfusedAttn := unfusedAttentionFlag(fs)
 	branchPar := branchParallelFlag(fs)
 	precPolicy := precisionFlag(fs)
+	traceOut := traceOutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -270,6 +336,11 @@ func cmdTrain(args []string) error {
 	configureCompute(*computeWorkers, 1)
 	configureAttention(*unfusedAttn)
 	configureBranches(*branchPar)
+	var prof *obs.Profiler
+	if *traceOut != "" {
+		prof = obs.NewProfiler()
+		prof.CaptureEngineTasks()
+	}
 	res, err := mmbench.Train(mmbench.TrainConfig{
 		Workload:  *workload,
 		Variant:   *variant,
@@ -277,9 +348,18 @@ func cmdTrain(args []string) error {
 		LR:        *lr,
 		Seed:      *seed,
 		Precision: *precPolicy,
+		Profiler:  prof,
 	})
 	if err != nil {
+		if prof != nil {
+			prof.Finish()
+		}
 		return err
+	}
+	if prof != nil {
+		if err := writeChromeTrace(*traceOut, prof.Finish()); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("%s/%s: %s = %.3f (final loss %.3f)\n",
 		res.Workload, res.Variant, res.MetricName, res.Metric, res.FinalLoss)

@@ -25,6 +25,8 @@ func cmdServe(args []string) error {
 	unfusedAttn := unfusedAttentionFlag(fs)
 	branchPar := branchParallelFlag(fs)
 	precPolicy := precisionFlag(fs)
+	pprofFlag := fs.Bool("pprof", false,
+		"mount net/http/pprof under /debug/pprof/ (CPU/heap/goroutine profiles; off by default)")
 	writeTimeout := fs.Duration("write-timeout", 5*time.Minute,
 		"HTTP write deadline per request; must cover the longest synchronous /v1/run (long eager runs should go through /v1/sweep jobs instead)")
 	if err := fs.Parse(args); err != nil {
@@ -45,6 +47,7 @@ func cmdServe(args []string) error {
 		Workers:          *workers,
 		CacheBytes:       int64(*cacheMB) << 20,
 		DefaultPrecision: *precPolicy,
+		Pprof:            *pprofFlag,
 	})
 	// Slow or stalled clients must not pin handler goroutines forever:
 	// bound header/body reads and idle keep-alives tightly. The write

@@ -13,6 +13,7 @@ import (
 	"mmbench/internal/engine"
 	"mmbench/internal/memprof"
 	"mmbench/internal/mmnet"
+	"mmbench/internal/obs"
 	"mmbench/internal/ops"
 	"mmbench/internal/precision"
 	"mmbench/internal/tensor"
@@ -49,8 +50,13 @@ type RunOptions struct {
 	// eager outputs numerically, analytic traces through the
 	// precision-scaled kernel costs — so it must participate in cache
 	// keys. The zero policy is all-float32 and leaves the run
-	// bit-identical to a build without mixed-precision support.
+	// bit-identical to a build with no mixed-precision support.
 	Precision precision.Policy
+	// Profiler, when non-nil on an eager run, records wall-clock kernel
+	// and stage spans. It is a pure observer (results and traces stay
+	// bitwise identical, so it never participates in cache keys) and is
+	// ignored on analytic runs, which execute no kernels to time.
+	Profiler *obs.Profiler
 }
 
 func (o *RunOptions) defaults() {
@@ -82,6 +88,11 @@ type RunResult struct {
 	// runs have no numerics to compare).
 	OutputErrMax  float64
 	OutputErrMean float64
+	// StageSeconds is the measured per-stage wall-clock time of the
+	// eager forward (profiled runs only; nil otherwise). It lives beside
+	// the report fields, never inside them, so profiled and unprofiled
+	// reports marshal byte-identically.
+	StageSeconds map[string]float64
 }
 
 // Run profiles one inference of the network: host-side loading and
@@ -136,6 +147,9 @@ func Run(n *mmnet.Network, opts RunOptions) (*RunResult, error) {
 		SequentialBranches: opts.SequentialBranches,
 		Precision:          opts.Precision,
 	}
+	if opts.Profiler != nil && opts.Eager {
+		c.Prof = opts.Profiler.Root()
+	}
 	out := n.Forward(c, batch)
 
 	// Under a low-precision policy an eager run also executes the f32
@@ -162,9 +176,17 @@ func Run(n *mmnet.Network, opts RunOptions) (*RunResult, error) {
 	mem := memprof.Measure(n, tr, opts.BatchSize)
 	latency := tr.Wall * opts.Device.CapacityPenalty(mem.AllocatorDemand())
 
+	var stageSec map[string]float64
+	if c.Prof != nil {
+		stageSec = opts.Profiler.StageWall()
+		// Feed the process-wide per-stage histograms here — on real
+		// executions only, so cache hits never double-observe.
+		obs.ObserveStageLatencies(stageSec)
+	}
+
 	return &RunResult{
 		Network: n, Trace: tr, Memory: mem, Latency: latency, Output: out,
-		OutputErrMax: errMax, OutputErrMean: errMean,
+		OutputErrMax: errMax, OutputErrMean: errMean, StageSeconds: stageSec,
 	}, nil
 }
 

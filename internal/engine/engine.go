@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Engine executes data-parallel loops on a persistent worker pool.
@@ -31,7 +32,14 @@ type Engine struct {
 	tasks atomic.Int64 // chunks executed (serial fast path counts 1)
 
 	pool bufPool
+
+	// id identifies the engine in task-observer spans (trace export
+	// names worker tracks "engine<id>:w<k>").
+	id int64
 }
+
+// engineSeq hands out engine ids.
+var engineSeq atomic.Int64
 
 // job is one ParallelFor invocation. Workers and the submitting
 // goroutine race on next to claim chunk indices; chunk boundaries are a
@@ -54,14 +62,14 @@ func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{workers: workers}
+	e := &Engine{workers: workers, id: engineSeq.Add(1)}
 	e.pool.init()
 	if workers > 1 {
 		// Buffered so ParallelFor's wake-up sends never block even when
 		// every worker is busy; stale pointers drain as no-ops.
 		e.jobs = make(chan *job, 4*workers)
 		for i := 0; i < workers-1; i++ {
-			go e.workerLoop()
+			go e.workerLoop(i)
 		}
 	}
 	return e
@@ -75,9 +83,31 @@ func (e *Engine) Workers() int {
 	return e.workers
 }
 
-func (e *Engine) workerLoop() {
+func (e *Engine) workerLoop(worker int) {
 	for j := range e.jobs {
+		e.drainWorker(j, worker)
+	}
+}
+
+// drainWorker is drain on a dedicated worker goroutine: when a task
+// observer is installed (trace export), each executed chunk is timed
+// and reported with the engine's id and the worker's index. Chunks the
+// submitting goroutine executes itself are not reported separately —
+// that time is already inside the kernel span on the submitter's track.
+func (e *Engine) drainWorker(j *job, worker int) {
+	obs := loadTaskObserver()
+	if obs == nil {
 		e.drain(j)
+		return
+	}
+	for {
+		i := j.next.Add(1) - 1
+		if i >= j.chunks {
+			return
+		}
+		start := time.Now()
+		e.runChunk(j, int(i))
+		obs(e.id, worker, start, time.Now())
 	}
 }
 

@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TaskObserver receives one completed chunk execution from a dedicated
+// engine worker goroutine: the owning engine's id, the worker's index
+// within that engine, and the chunk's wall-clock start/end.
+//
+// The observer is a pure observer of scheduling that already happened:
+// installing one never changes chunk boundaries, claim order or
+// numeric results. It runs on the worker goroutine after the chunk's
+// WaitGroup release, so it must be fast and must not call back into
+// the engine.
+type TaskObserver func(engineID int64, worker int, start, end time.Time)
+
+// taskObs holds the process-wide observer (nil when tracing is off).
+// Loaded once per job per worker, so the steady-state cost with no
+// observer installed is one atomic load per drained job.
+var taskObs atomic.Pointer[TaskObserver]
+
+// SetTaskObserver installs fn as the process-wide engine task observer;
+// nil uninstalls it. Only one run at a time may capture engine tasks —
+// the CLI trace-export path — because the hook is global.
+func SetTaskObserver(fn TaskObserver) {
+	if fn == nil {
+		taskObs.Store(nil)
+		return
+	}
+	taskObs.Store(&fn)
+}
+
+func loadTaskObserver() TaskObserver {
+	p := taskObs.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}

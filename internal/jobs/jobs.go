@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"mmbench/internal/obs"
 )
 
 // Status is a job's lifecycle state.
@@ -137,6 +139,11 @@ type Pool struct {
 	// doesn't pin every result ever produced.
 	retired []string
 	closed  bool
+
+	// waitHist accumulates queue-wait time — enqueue (Job.created) to
+	// worker pickup — for every job a worker dequeued.
+	waitMu   sync.Mutex
+	waitHist obs.Histogram
 }
 
 // maxRetained bounds how many finished jobs stay queryable via Get.
@@ -165,11 +172,30 @@ func NewPool(workers, queueCap int) *Pool {
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for t := range p.queue {
+		// created is immutable after newJob and the channel receive
+		// orders it before this read.
+		wait := time.Since(t.job.created)
+		p.waitMu.Lock()
+		p.waitHist.Observe(wait.Seconds())
+		p.waitMu.Unlock()
 		t.job.setRunning()
 		t.job.finish(runProtected(t.fn))
 		p.retire(t.job)
 	}
 }
+
+// QueueWait snapshots the queue-wait histogram: how long dequeued jobs
+// sat between submission and a worker picking them up. Group parent
+// jobs never enter the queue, so they are not counted.
+func (p *Pool) QueueWait() obs.Histogram {
+	p.waitMu.Lock()
+	defer p.waitMu.Unlock()
+	return p.waitHist
+}
+
+// QueueDepth returns the number of jobs currently sitting in the queue
+// waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
 
 // retire records a finished job, evicting the oldest finished jobs
 // beyond the retention bound. Queued and running jobs are never

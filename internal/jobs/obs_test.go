@@ -1,0 +1,89 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestQueueWaitHistogram(t *testing.T) {
+	p := NewPool(2, 16)
+	defer p.Shutdown(context.Background())
+
+	if fresh := p.QueueWait(); fresh.Count() != 0 {
+		t.Fatal("fresh pool has queue-wait samples")
+	}
+	const jobs = 8
+	js := make([]*Job, jobs)
+	for i := range js {
+		j, err := p.Submit(func() (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		js[i] = j
+	}
+	for _, j := range js {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := p.QueueWait()
+	if h.Count() != jobs {
+		t.Fatalf("queue-wait count = %d, want %d", h.Count(), jobs)
+	}
+	if h.Min() < 0 {
+		t.Fatalf("negative queue wait: %v", h.Min())
+	}
+	if h.Quantile(0.5) > h.Quantile(0.99) {
+		t.Fatalf("p50 %v > p99 %v", h.Quantile(0.5), h.Quantile(0.99))
+	}
+
+	// The snapshot is a copy: mutating it must not touch the pool.
+	h.Observe(1e6)
+	again := p.QueueWait()
+	if got := again.Count(); got != jobs {
+		t.Fatalf("snapshot aliases the pool histogram: count %d", got)
+	}
+}
+
+func TestQueueDepth(t *testing.T) {
+	p := NewPool(1, 8)
+	defer p.Shutdown(context.Background())
+
+	if d := p.QueueDepth(); d != 0 {
+		t.Fatalf("idle pool depth = %d", d)
+	}
+	block := make(chan struct{})
+	started := make(chan struct{})
+	blockOnce := func() (any, error) { close(started); <-block; return nil, nil }
+	first, err := p.Submit(blockOnce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unblock the worker even if an assertion below fails, so the
+	// deferred Shutdown can drain. Registered after the Shutdown defer,
+	// so it runs first.
+	unblock := sync.OnceFunc(func() { close(block) })
+	defer unblock()
+	<-started // the lone worker is now parked inside `first`
+	var queued []*Job
+	for i := 0; i < 3; i++ {
+		j, err := p.Submit(func() (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, j)
+	}
+	if d := p.QueueDepth(); d != 3 {
+		t.Fatalf("depth = %d with 3 jobs behind a blocked worker", d)
+	}
+	unblock()
+	for _, j := range append(queued, first) {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := p.QueueDepth(); d != 0 {
+		t.Fatalf("drained pool depth = %d", d)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"mmbench/internal/data"
 	"mmbench/internal/engine"
 	"mmbench/internal/models"
+	"mmbench/internal/obs"
 	"mmbench/internal/ops"
 	"mmbench/internal/tensor"
 	"mmbench/internal/trace"
@@ -122,6 +123,16 @@ func (n *Network) encodeParallel(c *ops.Ctx, b *data.Batch) []*ops.Var {
 			shards[i] = &trace.Shard{}
 		}
 	}
+	// Profiler shards follow the same pattern as trace shards: one
+	// single-goroutine recorder per branch, merged at the join in
+	// modality order. Forked on the coordinator, in modality order.
+	var pshards []*obs.Shard
+	if c.Prof != nil {
+		pshards = make([]*obs.Shard, nb)
+		for i := range pshards {
+			pshards[i] = c.Prof.Fork()
+		}
+	}
 	var tapes []*autograd.Tape
 	if c.Tape != nil {
 		tapes = make([]*autograd.Tape, nb)
@@ -153,8 +164,16 @@ func (n *Network) encodeParallel(c *ops.Ctx, b *data.Batch) []*ops.Var {
 			rng = rngs[i]
 		}
 		bc := c.ForkBranch(tape, rec, rng, engines[i])
+		if pshards != nil {
+			// ForkBranch copies the parent context, so the branch would
+			// otherwise share the coordinator's (single-goroutine) shard.
+			bc.Prof = pshards[i]
+		}
 		setScope(bc, StageEncoder, n.Modalities[i])
 		feats[i] = n.Encoders[i].Encode(bc, inputs[i])
+		// Close the branch's last kernel span on the branch goroutine,
+		// while "now" is still this branch's actual end.
+		bc.Prof.End()
 	})
 
 	// Deterministic join, panic-equivalent to the sequential loop: the
@@ -172,6 +191,11 @@ func (n *Network) encodeParallel(c *ops.Ctx, b *data.Batch) []*ops.Var {
 		for _, s := range shards[:joined] {
 			s.Replay(c.Rec)
 		}
+	}
+	// Profiler shards merge the same way: fixed modality order, so the
+	// profiler's span list is deterministic for a given schedule.
+	for _, s := range pshards[:min(joined, len(pshards))] {
+		s.Merge()
 	}
 	// The main tape gets one join step covering every branch segment.
 	// It is appended before fusion records anything, so Backward reaches

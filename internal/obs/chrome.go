@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the Profile serializes to the trace-event
+// JSON object format ({"traceEvents": [...]}), loadable in Perfetto and
+// chrome://tracing. Tracks map to trace "threads" of one process: the
+// main track, one track per modality branch, and one per engine helper
+// worker when engine capture was on.
+
+// chromeEvent is one trace-event entry. Complete events ("X") carry ts
+// and dur in microseconds; metadata events ("M") name the threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace serializes the profile as Chrome trace-event JSON.
+// Spans are grouped into one track ("thread") per TrackName, sorted by
+// start time within each track, so every track's timestamps are
+// monotone. Track ids are assigned in a stable order: main first, then
+// branch tracks by name, then engine worker tracks by name.
+func (pr *Profile) WriteChromeTrace(w io.Writer) error {
+	all := make([]Span, 0, len(pr.Spans)+len(pr.EngineSpans))
+	all = append(all, pr.Spans...)
+	all = append(all, pr.EngineSpans...)
+
+	tracks := trackOrder(all)
+	tid := make(map[string]int, len(tracks))
+	events := make([]chromeEvent, 0, len(all)+len(tracks))
+	for i, name := range tracks {
+		tid[name] = i
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	// Sort spans by (track, start) so each track's event timestamps are
+	// non-decreasing regardless of merge order.
+	sort.SliceStable(all, func(i, j int) bool {
+		ti, tj := tid[all[i].TrackName()], tid[all[j].TrackName()]
+		if ti != tj {
+			return ti < tj
+		}
+		return all[i].Start < all[j].Start
+	})
+	for i := range all {
+		s := &all[i]
+		args := map[string]any{"class": s.Class.String()}
+		if s.Stage != "" {
+			args["stage"] = s.Stage
+		}
+		if s.Modality != "" {
+			args["modality"] = s.Modality
+		}
+		if s.FLOPs > 0 {
+			args["flops"] = s.FLOPs
+		}
+		if s.Bytes > 0 {
+			args["bytes"] = s.Bytes
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  cat(s),
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64((s.End - s.Start).Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  tid[s.TrackName()],
+			Args: args,
+		})
+	}
+
+	doc := chromeTrace{TraceEvents: events}
+	if pr.Dropped > 0 {
+		// A truncated trace must say so, not pass for a complete one.
+		doc.Metadata = map[string]any{"dropped_spans": pr.Dropped}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// cat labels the span's trace category: the stage when set, the kernel
+// class otherwise.
+func cat(s *Span) string {
+	if s.Stage != "" {
+		return s.Stage
+	}
+	return s.Class.String()
+}
+
+// trackOrder returns the distinct track names in stable display order:
+// main, branch tracks sorted by name, engine tracks sorted by name.
+func trackOrder(spans []Span) []string {
+	seen := make(map[string]bool)
+	var branches, engines []string
+	hasMain := false
+	for i := range spans {
+		name := spans[i].TrackName()
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		switch {
+		case name == "main":
+			hasMain = true
+		case spans[i].Track != "":
+			engines = append(engines, name)
+		default:
+			branches = append(branches, name)
+		}
+	}
+	sort.Strings(branches)
+	sort.Strings(engines)
+	out := make([]string, 0, 1+len(branches)+len(engines))
+	if hasMain {
+		out = append(out, "main")
+	}
+	out = append(out, branches...)
+	return append(out, engines...)
+}

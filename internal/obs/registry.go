@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Process-wide per-stage latency registry. Every profiled eager run
+// observes its per-stage wall time here (internal/core does this at the
+// end of Run), so /metrics and /v1/stats report measured per-stage
+// latency distributions across every request the process served —
+// CLI sweeps, serve jobs and synchronous runs alike. Histograms merge
+// across requests by construction (one shared histogram per stage).
+var stageReg = struct {
+	mu sync.Mutex
+	m  map[string]*Histogram
+}{m: make(map[string]*Histogram)}
+
+// ObserveStageLatency records one run's wall-clock seconds for a stage.
+func ObserveStageLatency(stage string, seconds float64) {
+	if stage == "" {
+		return
+	}
+	stageReg.mu.Lock()
+	h := stageReg.m[stage]
+	if h == nil {
+		h = &Histogram{}
+		stageReg.m[stage] = h
+	}
+	h.Observe(seconds)
+	stageReg.mu.Unlock()
+}
+
+// ObserveStageLatencies records a whole per-stage map (the shape
+// Profiler.StageWall returns).
+func ObserveStageLatencies(stages map[string]float64) {
+	for stage, s := range stages {
+		ObserveStageLatency(stage, s)
+	}
+}
+
+// StageLatencies snapshots the per-stage histograms (value copies, safe
+// to read without further locking), keyed by stage name.
+func StageLatencies() map[string]Histogram {
+	stageReg.mu.Lock()
+	defer stageReg.mu.Unlock()
+	out := make(map[string]Histogram, len(stageReg.m))
+	for stage, h := range stageReg.m {
+		out[stage] = *h
+	}
+	return out
+}
+
+// StageNames returns the observed stage names sorted, for deterministic
+// exposition order.
+func StageNames() []string {
+	stageReg.mu.Lock()
+	defer stageReg.mu.Unlock()
+	names := make([]string, 0, len(stageReg.m))
+	for stage := range stageReg.m {
+		names = append(names, stage)
+	}
+	sort.Strings(names)
+	return names
+}

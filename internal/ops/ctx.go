@@ -17,6 +17,7 @@ import (
 	"mmbench/internal/autograd"
 	"mmbench/internal/engine"
 	"mmbench/internal/kernels"
+	"mmbench/internal/obs"
 	"mmbench/internal/precision"
 	"mmbench/internal/tensor"
 )
@@ -70,6 +71,11 @@ type Ctx struct {
 	// It is F32 outside any stage, so losses, metrics and optimizer
 	// math always run in full precision.
 	prec precision.Type
+	// Prof, when non-nil, receives wall-clock spans for every emitted
+	// kernel and stage change (eager profiling mode). It is a pure
+	// observer: results are bitwise identical with or without it. Each
+	// concurrently-executing branch context must carry its own shard.
+	Prof *obs.Shard
 }
 
 // Infer returns a minimal inference context with no tape or recorder.
@@ -106,6 +112,9 @@ func rowGrain(d int) int {
 // changes; an empty stage (the between-stages scope) restores float32.
 func (c *Ctx) EnterStage(stage, modality string) {
 	c.prec = c.Precision.For(stage, modality)
+	if c.Prof != nil {
+		c.Prof.EnterStage(stage, modality)
+	}
 }
 
 // ActivePrecision returns the storage precision the current stage scope
@@ -115,6 +124,9 @@ func (c *Ctx) ActivePrecision() precision.Type { return c.prec }
 func (c *Ctx) emit(s kernels.Spec) {
 	if c.Rec != nil {
 		c.Rec.Kernel(s)
+	}
+	if c.Prof != nil {
+		c.Prof.Kernel(s)
 	}
 }
 

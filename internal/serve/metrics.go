@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"mmbench/internal/engine"
+	"mmbench/internal/mmnet"
+	"mmbench/internal/obs"
+	"mmbench/internal/ops"
+)
+
+// Prometheus text exposition (format version 0.0.4), written by hand —
+// the counters already exist as process-wide atomics and the histograms
+// are obs.Histogram, so the exporter is a read-only rendering pass with
+// no client library needed.
+//
+// Metric families:
+//
+//	mmbench_requests_total, mmbench_encode_errors_total
+//	mmbench_cache_*            result-cache counters
+//	mmbench_jobs               scheduler job counts by state
+//	mmbench_queue_depth        jobs waiting for a worker
+//	mmbench_engine_*           compute-engine and buffer-pool counters
+//	mmbench_attention_*        fused-attention scratch-pool counters
+//	mmbench_branches_*         branch-executor counters
+//	mmbench_precision_*        low-precision kernel counters
+//	mmbench_service_latency_seconds   /v1/run latency histogram
+//	mmbench_queue_wait_seconds        scheduler queue-wait histogram
+//	mmbench_stage_latency_seconds     per-stage eager wall time, {stage}
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	m := newMetricsWriter(w)
+
+	s.mu.Lock()
+	requests := s.requests
+	s.mu.Unlock()
+	m.counter("mmbench_requests_total", "HTTP requests served.", float64(requests))
+	m.counter("mmbench_encode_errors_total", "Response bodies that failed to encode.", float64(s.encodeErrors.Load()))
+	m.gauge("mmbench_uptime_seconds", "Seconds since server start.", time.Since(s.start).Seconds())
+
+	cs := s.runner.Stats()
+	m.counter("mmbench_cache_hits_total", "Result-cache hits.", float64(cs.Hits))
+	m.counter("mmbench_cache_misses_total", "Result-cache misses.", float64(cs.Misses))
+	m.counter("mmbench_cache_executions_total", "Underlying executions the cache ran.", float64(cs.Executions))
+	m.counter("mmbench_cache_coalesced_total", "Requests coalesced into an in-flight execution.", float64(cs.Coalesced))
+	m.counter("mmbench_cache_evictions_total", "Cache entries evicted.", float64(cs.Evictions))
+	m.gauge("mmbench_cache_resident_bytes", "Bytes of cached reports resident.", float64(cs.Bytes))
+
+	counts := s.pool.Counts()
+	m.head("mmbench_jobs", "Scheduler jobs by state.", "gauge")
+	m.labeled("mmbench_jobs", `state="queued"`, float64(counts.Queued))
+	m.labeled("mmbench_jobs", `state="running"`, float64(counts.Running))
+	m.labeled("mmbench_jobs", `state="done"`, float64(counts.Done))
+	m.labeled("mmbench_jobs", `state="failed"`, float64(counts.Failed))
+	m.gauge("mmbench_queue_depth", "Jobs waiting in the scheduler queue.", float64(s.pool.QueueDepth()))
+
+	es := engine.TotalStats()
+	m.gauge("mmbench_engine_workers", "Compute-engine worker budget.", float64(es.Workers))
+	m.counter("mmbench_engine_parallel_calls_total", "ParallelFor invocations.", float64(es.Calls))
+	m.counter("mmbench_engine_tasks_total", "Engine chunks executed.", float64(es.Tasks))
+	m.counter("mmbench_engine_pool_hits_total", "Buffer-pool hits.", float64(es.PoolHits))
+	m.counter("mmbench_engine_pool_misses_total", "Buffer-pool misses.", float64(es.PoolMisses))
+	m.counter("mmbench_engine_pool_reused_bytes_total", "Bytes served from the buffer pool.", float64(es.BytesReused))
+
+	as := ops.AttentionStats()
+	m.counter("mmbench_attention_fused_calls_total", "Fused attention invocations.", float64(as.FusedCalls))
+	m.counter("mmbench_attention_scratch_checkouts_total", "Fused-attention scratch-pool checkouts.", float64(as.ScratchCheckouts))
+	m.counter("mmbench_attention_scratch_bytes_total", "Fused-attention pooled scratch bytes drawn.", float64(as.ScratchBytes))
+
+	bs := mmnet.BranchStats()
+	m.counter("mmbench_branches_parallel_forwards_total", "Forwards with concurrent encoder branches.", float64(bs.ParallelForwards))
+	m.counter("mmbench_branches_sequential_forwards_total", "Forwards through the sequential branch loop.", float64(bs.SequentialForwards))
+	m.counter("mmbench_branches_launched_total", "Branch goroutines started.", float64(bs.BranchesLaunched))
+	m.gauge("mmbench_branches_max", "Widest branch join seen.", float64(bs.MaxBranches))
+	m.counter("mmbench_branches_parallel_backwards_total", "Concurrent branch backward replays.", float64(bs.ParallelBackwards))
+
+	ps := ops.PrecisionStats()
+	m.counter("mmbench_precision_f16_kernels_total", "GEMM-family kernels run at emulated f16 storage.", float64(ps.F16Kernels))
+	m.counter("mmbench_precision_i8_kernels_total", "GEMM-family kernels run at emulated int8 storage.", float64(ps.I8Kernels))
+	m.counter("mmbench_precision_quant_scratch_bytes_total", "Pooled scratch bytes drawn for quantized operand copies.", float64(ps.QuantScratchBytes))
+
+	m.histogram("mmbench_service_latency_seconds", "POST /v1/run service latency.", "", s.serviceLatency())
+	m.histogram("mmbench_queue_wait_seconds", "Scheduler queue wait, submission to worker pickup.", "", s.pool.QueueWait())
+
+	stages := obs.StageLatencies()
+	names := make([]string, 0, len(stages))
+	for stage := range stages {
+		names = append(names, stage)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		m.head("mmbench_stage_latency_seconds", "Measured per-stage wall time of profiled eager runs.", "histogram")
+	}
+	for _, stage := range names {
+		h := stages[stage]
+		m.histogramSeries("mmbench_stage_latency_seconds", `stage="`+stage+`"`, &h)
+	}
+
+	if m.err != nil {
+		s.encodeErrors.Add(1)
+	}
+}
+
+// metricsWriter renders Prometheus text format, remembering the first
+// write error so the handler reports it once.
+type metricsWriter struct {
+	w   http.ResponseWriter
+	err error
+}
+
+func newMetricsWriter(w http.ResponseWriter) *metricsWriter {
+	return &metricsWriter{w: w}
+}
+
+func (m *metricsWriter) printf(format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, format, args...)
+}
+
+func (m *metricsWriter) head(name, help, typ string) {
+	m.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (m *metricsWriter) counter(name, help string, v float64) {
+	m.head(name, help, "counter")
+	m.printf("%s %s\n", name, fmtFloat(v))
+}
+
+func (m *metricsWriter) gauge(name, help string, v float64) {
+	m.head(name, help, "gauge")
+	m.printf("%s %s\n", name, fmtFloat(v))
+}
+
+func (m *metricsWriter) labeled(name, labels string, v float64) {
+	m.printf("%s{%s} %s\n", name, labels, fmtFloat(v))
+}
+
+func (m *metricsWriter) histogram(name, help, labels string, h obs.Histogram) {
+	m.head(name, help, "histogram")
+	m.histogramSeries(name, labels, &h)
+}
+
+// histogramSeries renders one histogram's bucket/sum/count series with
+// an optional shared label set (the caller emits the HELP/TYPE head).
+func (m *metricsWriter) histogramSeries(name, labels string, h *obs.Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for _, b := range h.CumulativeBuckets() {
+		m.printf("%s_bucket{%s%sle=%q} %d\n",
+			name, labels, sep, fmtFloat(b.UpperBound), b.CumulativeCount)
+	}
+	m.printf("%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count())
+	if labels == "" {
+		m.printf("%s_sum %s\n%s_count %d\n", name, fmtFloat(h.Sum()), name, h.Count())
+	} else {
+		m.printf("%s_sum{%s} %s\n%s_count{%s} %d\n",
+			name, labels, fmtFloat(h.Sum()), name, labels, h.Count())
+	}
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -14,8 +14,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +24,7 @@ import (
 	"mmbench/internal/engine"
 	"mmbench/internal/jobs"
 	"mmbench/internal/mmnet"
+	"mmbench/internal/obs"
 	"mmbench/internal/ops"
 	"mmbench/internal/precision"
 	"mmbench/internal/resultcache"
@@ -41,6 +42,11 @@ type Options struct {
 	// requests that do not set their own "precision" field (the
 	// -precision flag of mmbench serve). Empty means float32.
 	DefaultPrecision string
+	// Pprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/ (the -pprof flag of mmbench serve). Off by default:
+	// the endpoints expose goroutine dumps and CPU profiles, which a
+	// benchmark service should only serve when asked to.
+	Pprof bool
 }
 
 // Server is the benchmark service.
@@ -51,20 +57,18 @@ type Server struct {
 	start            time.Time
 	defaultPrecision string
 
-	mu        sync.Mutex
-	requests  uint64
-	latencies []float64 // ring of recent /v1/run service latencies (s)
-	latNext   int
-	latFull   bool
+	mu       sync.Mutex
+	requests uint64
+	// latHist is a streaming histogram of /v1/run service latencies:
+	// O(1) per observation, no window — every request since start-up
+	// contributes to the percentiles.
+	latHist obs.Histogram
 
 	// encodeErrors counts response-encoding failures (client gone,
 	// truncated write, unencodable value) so they are observable in
 	// /v1/stats instead of silently dropped.
 	encodeErrors atomic.Uint64
 }
-
-// latencyWindow bounds the percentile reservoir.
-const latencyWindow = 4096
 
 // New builds a server with its own scheduler and cache.
 func New(opts Options) *Server {
@@ -82,7 +86,6 @@ func New(opts Options) *Server {
 		pool:             jobs.NewPool(opts.Workers, opts.QueueCap),
 		mux:              http.NewServeMux(),
 		start:            time.Now(),
-		latencies:        make([]float64, latencyWindow),
 		defaultPrecision: opts.DefaultPrecision,
 	}
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
@@ -91,6 +94,14 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -141,34 +152,15 @@ func (s *Server) countRequest() {
 
 func (s *Server) recordLatency(d time.Duration) {
 	s.mu.Lock()
-	s.latencies[s.latNext] = d.Seconds()
-	s.latNext++
-	if s.latNext == len(s.latencies) {
-		s.latNext = 0
-		s.latFull = true
-	}
+	s.latHist.Observe(d.Seconds())
 	s.mu.Unlock()
 }
 
-// percentiles returns p50/p95/p99 over the latency window, in seconds.
-func (s *Server) percentiles() (p50, p95, p99 float64, n int) {
+// serviceLatency snapshots the /v1/run latency histogram.
+func (s *Server) serviceLatency() obs.Histogram {
 	s.mu.Lock()
-	n = s.latNext
-	if s.latFull {
-		n = len(s.latencies)
-	}
-	window := make([]float64, n)
-	copy(window, s.latencies[:n])
-	s.mu.Unlock()
-	if n == 0 {
-		return 0, 0, 0, 0
-	}
-	sort.Float64s(window)
-	at := func(p float64) float64 {
-		i := int(p * float64(n-1))
-		return window[i]
-	}
-	return at(0.50), at(0.95), at(0.99), n
+	defer s.mu.Unlock()
+	return s.latHist
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
@@ -228,7 +220,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	begin := time.Now()
-	rep, err := s.runner.Run(req.config(s.defaultPrecision))
+	rep, stageMs, err := s.runner.RunProfiled(req.config(s.defaultPrecision))
 	if err != nil {
 		// The model is deterministic: a failed run is a config problem,
 		// not a transient one.
@@ -236,7 +228,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.recordLatency(time.Since(begin))
-	s.writeJSON(w, r, http.StatusOK, map[string]any{"report": rep})
+	body := map[string]any{"report": rep}
+	if len(stageMs) > 0 {
+		// Measured per-stage wall time, eager runs only. Kept outside
+		// the report object, which stays byte-identical with profiling
+		// on or off.
+		body["stage_latency_ms"] = stageMs
+	}
+	s.writeJSON(w, r, http.StatusOK, body)
 }
 
 // SweepRequest is the POST /v1/sweep body.
@@ -341,20 +340,37 @@ type Stats struct {
 	ThroughputRPS float64        `json:"throughput_rps"`
 	EncodeErrors  uint64         `json:"encode_errors"`
 	Latency       LatencyStats   `json:"service_latency_ms"`
-	Cache         CacheStats     `json:"cache"`
-	Jobs          map[string]int `json:"jobs"`
-	Engine        EngineStats    `json:"engine"`
-	Attention     AttentionStats `json:"attention"`
-	Branches      BranchStats    `json:"branches"`
-	Precision     PrecisionStats `json:"precision"`
+	// StageLatency reports measured per-stage wall-clock percentiles
+	// (milliseconds) over every profiled eager execution the process
+	// ran; empty until the first eager run.
+	StageLatency map[string]obs.Summary `json:"stage_latency_ms,omitempty"`
+	Cache        CacheStats             `json:"cache"`
+	Jobs         map[string]int         `json:"jobs"`
+	// Queue reports scheduler queue pressure: current depth plus
+	// queue-wait percentiles (submission to worker pickup).
+	Queue     QueueStats     `json:"queue"`
+	Engine    EngineStats    `json:"engine"`
+	Attention AttentionStats `json:"attention"`
+	Branches  BranchStats    `json:"branches"`
+	Precision PrecisionStats `json:"precision"`
 }
 
-// LatencyStats are percentiles over the recent /v1/run window.
+// LatencyStats are streaming percentiles over every /v1/run since
+// start-up, in milliseconds.
 type LatencyStats struct {
 	Samples int     `json:"samples"`
 	P50     float64 `json:"p50"`
 	P95     float64 `json:"p95"`
 	P99     float64 `json:"p99"`
+}
+
+// QueueStats reports scheduler queue pressure.
+type QueueStats struct {
+	// Depth is the number of jobs waiting in the queue right now.
+	Depth int `json:"depth"`
+	// WaitMs are queue-wait percentiles (enqueue to worker pickup) over
+	// every job dequeued since start-up, in milliseconds.
+	WaitMs obs.Summary `json:"wait_ms"`
 }
 
 // CacheStats extends the cache counters with the derived hit rate.
@@ -426,7 +442,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	requests := s.requests
 	s.mu.Unlock()
-	p50, p95, p99, n := s.percentiles()
+	latHist := s.serviceLatency()
+	lat := latHist.SummaryMs()
+	var stageLat map[string]obs.Summary
+	if stages := obs.StageLatencies(); len(stages) > 0 {
+		stageLat = make(map[string]obs.Summary, len(stages))
+		for stage, h := range stages {
+			stageLat[stage] = h.SummaryMs()
+		}
+	}
+	wait := s.pool.QueueWait()
 	cs := s.runner.Stats()
 	es := engine.TotalStats()
 	counts := s.pool.Counts()
@@ -436,10 +461,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ThroughputRPS: float64(requests) / uptime,
 		EncodeErrors:  s.encodeErrors.Load(),
 		Latency: LatencyStats{
-			Samples: n,
-			P50:     p50 * 1e3,
-			P95:     p95 * 1e3,
-			P99:     p99 * 1e3,
+			Samples: int(lat.Samples),
+			P50:     lat.P50,
+			P95:     lat.P95,
+			P99:     lat.P99,
+		},
+		StageLatency: stageLat,
+		Queue: QueueStats{
+			Depth:  s.pool.QueueDepth(),
+			WaitMs: wait.SummaryMs(),
 		},
 		Cache:  CacheStats{Stats: cs, HitRate: cs.HitRate()},
 		Engine: EngineStats{Stats: es, PoolHitRate: es.HitRate()},

@@ -10,6 +10,7 @@ import (
 	"mmbench/internal/data"
 	"mmbench/internal/engine"
 	"mmbench/internal/mmnet"
+	"mmbench/internal/obs"
 	"mmbench/internal/ops"
 	"mmbench/internal/precision"
 	"mmbench/internal/tensor"
@@ -124,6 +125,10 @@ type Config struct {
 	// standard mixed-precision training arrangement. The zero policy
 	// trains bit-identically to the reference float32 path.
 	Precision precision.Policy
+	// Profiler, when non-nil, records wall-clock spans across every
+	// training step: forward kernels plus explicit backward/optimizer
+	// regions. Pure observer — training results are unchanged.
+	Profiler *obs.Profiler
 }
 
 // DefaultConfig returns a quick-converging configuration for the planted
@@ -171,11 +176,16 @@ func Fit(n *mmnet.Network, cfg Config) Result {
 				UnfusedAttention:   cfg.UnfusedAttention,
 				SequentialBranches: cfg.SequentialBranches,
 				Precision:          cfg.Precision,
+				Prof:               cfg.Profiler.Root(),
 			}
 			out := n.Forward(c, b)
 			loss := n.Loss(c, out, b)
+			endBwd := c.Prof.Region("backward")
 			tape.Backward(loss)
+			endBwd()
+			endOpt := c.Prof.Region("optimizer")
 			opt.Step(params)
+			endOpt()
 			lastLoss = float64(loss.Value.At(0))
 		}
 	}

@@ -30,6 +30,7 @@ import (
 	"mmbench/internal/kernels"
 	"mmbench/internal/metrics"
 	"mmbench/internal/mmnet"
+	"mmbench/internal/obs"
 	"mmbench/internal/precision"
 	"mmbench/internal/report"
 	"mmbench/internal/train"
@@ -164,13 +165,36 @@ type Report struct {
 
 // Run profiles one workload variant on one device.
 func Run(cfg RunConfig) (*Report, error) {
+	rep, _, err := runImpl(cfg, nil)
+	return rep, err
+}
+
+// RunProfiled is Run with eager wall-clock profiling: alongside the
+// (byte-identical) report it returns the measured per-stage latency in
+// milliseconds. Analytic runs execute no kernels, so their stage map is
+// nil.
+func RunProfiled(cfg RunConfig) (*Report, map[string]float64, error) {
+	if !cfg.Eager {
+		return runImpl(cfg, nil)
+	}
+	return runImpl(cfg, obs.NewProfiler())
+}
+
+// RunWithProfiler is Run recording into a caller-owned profiler, for
+// callers that also want the span-level profile (the CLI's Chrome trace
+// export). The caller seals the profiler with Finish after the run.
+func RunWithProfiler(cfg RunConfig, p *obs.Profiler) (*Report, map[string]float64, error) {
+	return runImpl(cfg, p)
+}
+
+func runImpl(cfg RunConfig, prof *obs.Profiler) (*Report, map[string]float64, error) {
 	if cfg.Workload == "" {
-		return nil, fmt.Errorf("mmbench: RunConfig.Workload is required")
+		return nil, nil, fmt.Errorf("mmbench: RunConfig.Workload is required")
 	}
 	if cfg.Variant == "" {
 		info, err := workloads.Get(cfg.Workload)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cfg.Variant = info.Fusions[0]
 	}
@@ -180,11 +204,11 @@ func Run(cfg RunConfig) (*Report, error) {
 	}
 	dev, err := device.ByName(devName)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pol, err := precision.ParsePolicy(cfg.Precision)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res, err := core.BuildAndRun(cfg.Workload, cfg.Variant, cfg.PaperScale, core.RunOptions{
 		Device:    dev,
@@ -192,11 +216,25 @@ func Run(cfg RunConfig) (*Report, error) {
 		Eager:     cfg.Eager,
 		Seed:      cfg.Seed,
 		Precision: pol,
+		Profiler:  prof,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return buildReport(cfg, devName, pol, res), nil
+	return buildReport(cfg, devName, pol, res), stageMillis(res.StageSeconds), nil
+}
+
+// stageMillis converts the runner's per-stage seconds to the
+// milliseconds the service and CLI report.
+func stageMillis(sec map[string]float64) map[string]float64 {
+	if sec == nil {
+		return nil
+	}
+	ms := make(map[string]float64, len(sec))
+	for stage, s := range sec {
+		ms[stage] = s * 1e3
+	}
+	return ms
 }
 
 func buildReport(cfg RunConfig, devName string, pol precision.Policy, res *core.RunResult) *Report {
@@ -291,6 +329,10 @@ type TrainConfig struct {
 	// syntax (empty = all-float32). Forward kernels run at the assigned
 	// precision; gradients and optimizer state stay float32.
 	Precision string
+	// Profiler, when non-nil, records wall-clock spans for every
+	// training step (kernels, backward, optimizer). Pure observer; the
+	// caller seals it with Finish after Train returns.
+	Profiler *obs.Profiler
 }
 
 // TrainResult reports a trained variant's evaluation.
@@ -339,6 +381,7 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	tcfg.Profiler = cfg.Profiler
 	res := train.Fit(n, tcfg)
 	return &TrainResult{
 		Workload:   cfg.Workload,

@@ -25,7 +25,10 @@ raw="$(go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1s}" \
 {
 	printf '{\n'
 	printf '  "generated_by": "scripts/bench_ops.sh",\n'
+	printf '  "generated_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "git_sha": "%s",\n' "$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)}"
 	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
 	printf '  "cpu": "%s",\n' "$(printf '%s\n' "$raw" | awk -F': ' '/^cpu:/{print $2; exit}')"
 	printf '  "benchmarks": [\n'
