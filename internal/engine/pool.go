@@ -113,13 +113,22 @@ func (e *Engine) Get(n int) []float32 {
 // scratch). Under SetDebug poisoning, a violation of that contract
 // surfaces as NaNs in results instead of silently reading zeros.
 func (e *Engine) GetUninit(n int) []float32 {
+	buf, _ := e.GetUninitInfo(n)
+	return buf
+}
+
+// GetUninitInfo is GetUninit plus whether the request was satisfied from
+// the pool's free list (a pool hit) — callers that keep their own
+// activity counters (the GEMM pack-panel stats) use it to report hit
+// rates without re-deriving them from global pool deltas.
+func (e *Engine) GetUninitInfo(n int) ([]float32, bool) {
 	if e == nil {
-		return make([]float32, n)
+		return make([]float32, n), false
 	}
 	b := bucketSize(n)
 	if b < 0 {
 		e.pool.misses.Add(1)
-		return make([]float32, n)
+		return make([]float32, n), false
 	}
 	e.pool.mu.Lock()
 	idx := bucketIndex(b)
@@ -127,7 +136,7 @@ func (e *Engine) GetUninit(n int) []float32 {
 	if len(list) == 0 {
 		e.pool.mu.Unlock()
 		e.pool.misses.Add(1)
-		return make([]float32, b)[:n]
+		return make([]float32, b)[:n], false
 	}
 	buf := list[len(list)-1]
 	e.pool.buckets[idx] = list[:len(list)-1]
@@ -135,7 +144,7 @@ func (e *Engine) GetUninit(n int) []float32 {
 	e.pool.mu.Unlock()
 	e.pool.hits.Add(1)
 	e.pool.bytesReused.Add(int64(n) * 4)
-	return buf[:n]
+	return buf[:n], true
 }
 
 // Put returns a buffer obtained from Get to the pool. Putting foreign

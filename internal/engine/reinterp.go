@@ -1,0 +1,70 @@
+package engine
+
+import "unsafe"
+
+// Typed views of the float32 buffer pool for the packed-GEMM panels:
+// int8 (quantized B panels), int16 (widened quantized A panels) and
+// uint16 (float16-grid B panels). Each Get reinterprets one pooled
+// float32 buffer in place — no second pool, no copy — so the retention
+// budget, poison mode and hit counters all keep covering panel scratch.
+//
+// Ownership rules match Get/Put: the caller owns the returned slice
+// until the matching Put*, and must pass back exactly the slice a Get*
+// returned (its capacity spans the whole underlying bucket, which is
+// how Put* recovers the float32 buffer). Every bucket capacity is a
+// power of two ≥ 256 floats, so the byte capacity is always divisible
+// by the element size of every view.
+
+// GetUninitI8 returns an uninitialized pooled slice of n int8 (plus
+// whether it was a pool hit). Return it with PutI8.
+func (e *Engine) GetUninitI8(n int) ([]int8, bool) {
+	buf, hit := e.GetUninitInfo((n + 3) / 4)
+	if n == 0 {
+		return nil, hit
+	}
+	return unsafe.Slice((*int8)(unsafe.Pointer(&buf[0])), cap(buf)*4)[:n], hit
+}
+
+// PutI8 returns a GetUninitI8 slice to the pool.
+func (e *Engine) PutI8(buf []int8) {
+	if e == nil || buf == nil {
+		return
+	}
+	e.Put(unsafe.Slice((*float32)(unsafe.Pointer(&buf[0])), cap(buf)/4))
+}
+
+// GetUninitI16 returns an uninitialized pooled slice of n int16 (plus
+// whether it was a pool hit). Return it with PutI16.
+func (e *Engine) GetUninitI16(n int) ([]int16, bool) {
+	buf, hit := e.GetUninitInfo((n + 1) / 2)
+	if n == 0 {
+		return nil, hit
+	}
+	return unsafe.Slice((*int16)(unsafe.Pointer(&buf[0])), cap(buf)*2)[:n], hit
+}
+
+// PutI16 returns a GetUninitI16 slice to the pool.
+func (e *Engine) PutI16(buf []int16) {
+	if e == nil || buf == nil {
+		return
+	}
+	e.Put(unsafe.Slice((*float32)(unsafe.Pointer(&buf[0])), cap(buf)/2))
+}
+
+// GetUninitU16 returns an uninitialized pooled slice of n uint16 (plus
+// whether it was a pool hit). Return it with PutU16.
+func (e *Engine) GetUninitU16(n int) ([]uint16, bool) {
+	buf, hit := e.GetUninitInfo((n + 1) / 2)
+	if n == 0 {
+		return nil, hit
+	}
+	return unsafe.Slice((*uint16)(unsafe.Pointer(&buf[0])), cap(buf)*2)[:n], hit
+}
+
+// PutU16 returns a GetUninitU16 slice to the pool.
+func (e *Engine) PutU16(buf []uint16) {
+	if e == nil || buf == nil {
+		return
+	}
+	e.Put(unsafe.Slice((*float32)(unsafe.Pointer(&buf[0])), cap(buf)/2))
+}

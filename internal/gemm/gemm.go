@@ -1,0 +1,295 @@
+// Package gemm is MMBench's packed-panel GEMM core: a cache-blocked,
+// register-tiled float32 micro-kernel plus real reduced-precision
+// variants (int8 with int32 accumulation, float16-grid B panels), all
+// sharing one panel layout and one parallel driver.
+//
+// # Panel layout
+//
+// A call computes dst[M,N] += alpha · A[M,K]·B[K,N] (either operand may
+// be stored transposed — the pack step absorbs the transpose, so NN, NT
+// and TN all run the same inner kernel). Operands are repacked once per
+// invocation into pooled engine scratch:
+//
+//	A row panels    ap[(ip·K + l)·MR + r] = A[ip·MR+r][l]   (l-major)
+//	B column panels bp[(jp·K + l)·NR + c] = B[l][jp·NR+c]
+//
+// so the micro-kernel streams both panels with unit stride. Edge panels
+// are zero-padded to full MR×NR width; padded lanes never reach dst.
+//
+// # Micro-kernel
+//
+// The inner kernel owns an MR×NR = 4×16 accumulator block held in
+// registers (eight 8-lane vectors on amd64), walking the shared K
+// dimension once: per k step it loads one B panel row, broadcasts the
+// four A values and issues eight fused multiply-adds. On amd64 with
+// AVX2+FMA this is hand-written assembly; everywhere else a pure-Go
+// kernel with the same panel layout and accumulation order runs (its
+// multiply-adds round per step instead of fusing, so results are
+// consistent within a platform, not across ISAs).
+//
+// # Accumulation-order contract
+//
+// Every dst element is produced by exactly one micro-kernel invocation
+// that accumulates its K products in ascending-l order into a single
+// register accumulator, then stores dst += alpha·acc (scale after
+// accumulate). Work is partitioned over A row panels with shape-only
+// chunking, so results are bitwise identical at any engine worker count
+// and under any branch schedule — the engine's determinism contract.
+//
+// # Reduced precision
+//
+// I8 quantizes during packing (symmetric per-tensor levels, the same
+// grid as precision.QuantizeI8): A panels widen to int16 pairs, B panels
+// stay int8 and widen at load, products accumulate exactly in int32
+// (vpmaddwd pairs on amd64), and one dequantization multiply runs at the
+// accumulator store — the scale-after-accumulate order of real int8
+// GEMM hardware. F16 rounds both operands to the float16 grid during
+// packing and keeps f32 accumulation; on amd64 the B panels are stored
+// as raw 16-bit halves (half the panel bandwidth) and converted in the
+// kernel with vcvtph2ps, which is exact, so the packed-u16 and
+// packed-f32 fallback layouts produce identical numbers.
+package gemm
+
+import (
+	"sync/atomic"
+
+	"mmbench/internal/engine"
+)
+
+const (
+	// MR×NR is the register accumulator block: 4 rows × 16 columns =
+	// eight 8-lane vector accumulators, leaving registers for the B row
+	// and the A broadcast on 16-register ISAs.
+	MR = 4
+	NR = 16
+	// packGrain is the target element count per pack chunk, matching the
+	// elementwise grain used across internal/ops. Shape-only, so pack
+	// partitioning never depends on the machine.
+	packGrain = 8192
+)
+
+// packActivity counts pack-panel pool traffic for /v1/stats and
+// /metrics (the GEMM analogue of the fused-attention scratch counters).
+var packActivity struct {
+	checkouts atomic.Int64
+	bytes     atomic.Int64
+	poolHits  atomic.Int64
+}
+
+// PackActivity is a snapshot of pack-panel pool counters.
+type PackActivity struct {
+	// PanelCheckouts counts pooled panel buffers drawn (A and B panels
+	// across every packed kernel invocation).
+	PanelCheckouts int64 `json:"panel_checkouts"`
+	// PanelBytes is the total bytes of panel scratch drawn.
+	PanelBytes int64 `json:"panel_bytes"`
+	// PanelPoolHits counts checkouts satisfied from the engine pool's
+	// free list (the rest allocated fresh).
+	PanelPoolHits int64 `json:"panel_pool_hits"`
+}
+
+// HitRate returns the fraction of panel checkouts served from the pool.
+func (a PackActivity) HitRate() float64 {
+	if a.PanelCheckouts == 0 {
+		return 0
+	}
+	return float64(a.PanelPoolHits) / float64(a.PanelCheckouts)
+}
+
+// PackStats snapshots the process-wide pack-panel counters.
+func PackStats() PackActivity {
+	return PackActivity{
+		PanelCheckouts: packActivity.checkouts.Load(),
+		PanelBytes:     packActivity.bytes.Load(),
+		PanelPoolHits:  packActivity.poolHits.Load(),
+	}
+}
+
+func countPanel(bytes int64, hit bool) {
+	packActivity.checkouts.Add(1)
+	packActivity.bytes.Add(bytes)
+	if hit {
+		packActivity.poolHits.Add(1)
+	}
+}
+
+func panelF32(e *engine.Engine, n int) []float32 {
+	buf, hit := e.GetUninitInfo(n)
+	countPanel(int64(n)*4, hit)
+	return buf
+}
+
+func panelU16(e *engine.Engine, n int) []uint16 {
+	buf, hit := e.GetUninitU16(n)
+	countPanel(int64(n)*2, hit)
+	return buf
+}
+
+func panelI16(e *engine.Engine, n int) []int16 {
+	buf, hit := e.GetUninitI16(n)
+	countPanel(int64(n)*2, hit)
+	return buf
+}
+
+func panelI8(e *engine.Engine, n int) []int8 {
+	buf, hit := e.GetUninitI8(n)
+	countPanel(int64(n), hit)
+	return buf
+}
+
+// KernelName reports which micro-kernel implementation this process
+// runs: "avx2-fma+vnni" (assembly, int8 path fused by vpdpwssd),
+// "avx2-fma" (assembly), or "generic" (portable Go).
+func KernelName() string {
+	switch {
+	case asmVNNI:
+		return "avx2-fma+vnni"
+	case asmKernels:
+		return "avx2-fma"
+	}
+	return "generic"
+}
+
+// F32 computes dst[m,n] += alpha · A·B over packed panels. aT means a is
+// stored [k,m] (A read transposed); bT means b is stored [n,k]. dst has
+// row stride n and is accumulated into, so gradient += calls work
+// directly.
+func F32(e *engine.Engine, dst, a, b []float32, m, k, n int, alpha float32, aT, bT bool) {
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	nip, njp := (m+MR-1)/MR, (n+NR-1)/NR
+	ap := panelF32(e, nip*k*MR)
+	bp := panelF32(e, njp*k*NR)
+	packAF32(e, ap, a, m, k, aT)
+	packBF32(e, bp, b, k, n, bT)
+	computeF32(e, dst, ap, bp, m, k, n, nip, njp, alpha)
+	e.Put(ap)
+	e.Put(bp)
+}
+
+// computeF32 walks packed f32 panels, one A row panel per work unit.
+func computeF32(e *engine.Engine, dst, ap, bp []float32, m, k, n, nip, njp int, alpha float32) {
+	e.ParallelFor(nip, 1, func(lo, hi int) {
+		var tile [MR * NR]float32
+		for ip := lo; ip < hi; ip++ {
+			app := ap[ip*k*MR : (ip+1)*k*MR]
+			for jp := 0; jp < njp; jp++ {
+				kernF32(app, bp[jp*k*NR:(jp+1)*k*NR], &tile, k)
+				addTileF32(dst, &tile, ip*MR, jp*NR, m, n, alpha)
+			}
+		}
+	})
+}
+
+// F16 is F32 with both operands rounded to the float16 grid during
+// packing (the emulated f16 storage path). The caller still owns the
+// output store: dst receives the raw f32 accumulation, exactly like the
+// unpacked emulation, so bias adds can join before the final f16
+// rounding.
+func F16(e *engine.Engine, dst, a, b []float32, m, k, n int, alpha float32, aT, bT bool) {
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	nip, njp := (m+MR-1)/MR, (n+NR-1)/NR
+	ap := panelF32(e, nip*k*MR)
+	packAF16(e, ap, a, m, k, aT)
+	if asmF16 {
+		// Half-width B panels: raw float16 bits, converted in-kernel by
+		// vcvtph2ps (exact, so numerically identical to the f32 layout).
+		bp := panelU16(e, njp*k*NR)
+		packBU16(e, bp, b, k, n, bT)
+		e.ParallelFor(nip, 1, func(lo, hi int) {
+			var tile [MR * NR]float32
+			for ip := lo; ip < hi; ip++ {
+				app := ap[ip*k*MR : (ip+1)*k*MR]
+				for jp := 0; jp < njp; jp++ {
+					kernF16Asm(&app[0], &bp[jp*k*NR], &tile[0], int64(k))
+					addTileF32(dst, &tile, ip*MR, jp*NR, m, n, alpha)
+				}
+			}
+		})
+		e.PutU16(bp)
+	} else {
+		bp := panelF32(e, njp*k*NR)
+		packBF16F32(e, bp, b, k, n, bT)
+		computeF32(e, dst, ap, bp, m, k, n, nip, njp, alpha)
+		e.Put(bp)
+	}
+	e.Put(ap)
+}
+
+// I8 computes dst[m,n] += alpha·sa·sb · (Qa·Qb) where Qa, Qb are the
+// symmetric int8 quantizations of A and B at the given scales (the same
+// grid as precision.QuantizeI8; callers calibrate with
+// precision.I8Scale(precision.MaxAbs(...)) — an order-independent
+// reduction, so results stay deterministic). A panels are widened to
+// int16 at pack time, B panels stay int8 and widen at load; products
+// accumulate exactly in int32, and the single dequantization multiply
+// happens at the accumulator store. Exact for any K below ~2^17 rows
+// (int32 headroom at maximal |level| 127); the f32 store rounds sums
+// above 2^24 to the nearest representable float, deterministically.
+func I8(e *engine.Engine, dst, a, b []float32, m, k, n int, alpha, sa, sb float32, aT, bT bool) {
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	kp := (k + 1) / 2 // int16 pair count; odd K pads a zero level (exact)
+	nip, njp := (m+MR-1)/MR, (n+NR-1)/NR
+	ap := panelI16(e, nip*kp*2*MR)
+	bp := panelI8(e, njp*kp*2*NR)
+	packAI16(e, ap, a, m, k, sa, aT)
+	packBI8(e, bp, b, k, n, sb, bT)
+	deq := alpha * sa * sb
+	e.ParallelFor(nip, 1, func(lo, hi int) {
+		var tile [MR * NR]int32
+		for ip := lo; ip < hi; ip++ {
+			app := ap[ip*kp*2*MR : (ip+1)*kp*2*MR]
+			for jp := 0; jp < njp; jp++ {
+				kernI8(app, bp[jp*kp*2*NR:(jp+1)*kp*2*NR], &tile, kp)
+				addTileI32(dst, &tile, ip*MR, jp*NR, m, n, deq)
+			}
+		}
+	})
+	e.PutI16(ap)
+	e.PutI8(bp)
+}
+
+// addTileF32 accumulates the valid region of a full MR×NR tile into dst:
+// dst[i0+r][j0+c] += alpha·tile[r][c]. Multiplying by alpha == 1 is a
+// bitwise identity, so the common unscaled call pays one multiply and no
+// branch.
+func addTileF32(dst []float32, tile *[MR * NR]float32, i0, j0, m, n int, alpha float32) {
+	rows, cols := m-i0, n-j0
+	if rows > MR {
+		rows = MR
+	}
+	if cols > NR {
+		cols = NR
+	}
+	for r := 0; r < rows; r++ {
+		dr := dst[(i0+r)*n+j0 : (i0+r)*n+j0+cols]
+		tr := tile[r*NR : r*NR+cols]
+		for c, v := range tr {
+			dr[c] += alpha * v
+		}
+	}
+}
+
+// addTileI32 dequantizes and accumulates an int32 tile:
+// dst[i0+r][j0+c] += deq·float32(tile[r][c]).
+func addTileI32(dst []float32, tile *[MR * NR]int32, i0, j0, m, n int, deq float32) {
+	rows, cols := m-i0, n-j0
+	if rows > MR {
+		rows = MR
+	}
+	if cols > NR {
+		cols = NR
+	}
+	for r := 0; r < rows; r++ {
+		dr := dst[(i0+r)*n+j0 : (i0+r)*n+j0+cols]
+		tr := tile[r*NR : r*NR+cols]
+		for c, v := range tr {
+			dr[c] += deq * float32(v)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package gemm
+
+// Portable micro-kernels, compiled on every platform. They share the asm
+// kernels' panel layout and ascending-l accumulation order; the float
+// kernel rounds each multiply-add step separately (no fused multiply-
+// add), so float results are deterministic per platform, not across
+// ISAs. The int8 kernel is exact integer arithmetic and agrees with the
+// asm kernel bit-for-bit.
+
+// genericKernF32 computes one MR×NR tile from packed panels:
+// tile[r][c] = Σ_l ap[l*MR+r] · bp[l*NR+c], overwriting tile.
+func genericKernF32(ap, bp []float32, tile *[MR * NR]float32, k int) {
+	var acc [MR * NR]float32
+	for l := 0; l < k; l++ {
+		al := ap[l*MR : l*MR+MR]
+		bl := bp[l*NR : l*NR+NR]
+		for r := 0; r < MR; r++ {
+			a := al[r]
+			tr := acc[r*NR : r*NR+NR]
+			for c, bv := range bl {
+				tr[c] += a * bv
+			}
+		}
+	}
+	*tile = acc
+}
+
+// genericKernI8 computes one MR×NR int32 tile from quantized panels
+// packed as K pairs: tile[r][c] = Σ_l2 ap-pair(r,l2) · bp-pair(c,l2),
+// overwriting tile. Exact for int8-level inputs.
+func genericKernI8(ap []int16, bp []int8, tile *[MR * NR]int32, kp int) {
+	var acc [MR * NR]int32
+	for l2 := 0; l2 < kp; l2++ {
+		al := ap[l2*MR*2 : l2*MR*2+MR*2]
+		bl := bp[l2*NR*2 : l2*NR*2+NR*2]
+		for r := 0; r < MR; r++ {
+			a0, a1 := int32(al[r*2]), int32(al[r*2+1])
+			tr := acc[r*NR : r*NR+NR]
+			for c := 0; c < NR; c++ {
+				tr[c] += a0*int32(bl[c*2]) + a1*int32(bl[c*2+1])
+			}
+		}
+	}
+	*tile = acc
+}

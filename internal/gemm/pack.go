@@ -1,0 +1,312 @@
+package gemm
+
+import (
+	"mmbench/internal/engine"
+	"mmbench/internal/precision"
+)
+
+// Panel packing. Each routine fills a pooled panel buffer completely
+// (valid lanes from the operand, edge padding with zeros), so panels are
+// safe under the pool's NaN-poison debug mode. Packing parallelizes over
+// whole panels with a shape-only grain, preserving the engine's
+// determinism contract (each panel element is written by exactly one
+// chunk, and the written value does not depend on chunking).
+
+// packPanelGrain returns the ParallelFor grain for packing npanels
+// panels of elemsPer elements each, targeting packGrain elements per
+// chunk (≥1 panel).
+func packPanelGrain(elemsPer int) int {
+	g := packGrain / elemsPer
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// packAF32 packs A[m,k] (or its transpose when aT: a stored [k,m]) into
+// row panels ap[(ip*k+l)*MR+r] = A[ip*MR+r][l], zero-padding rows past m.
+func packAF32(e *engine.Engine, ap, a []float32, m, k int, aT bool) {
+	nip := (m + MR - 1) / MR
+	e.ParallelFor(nip, packPanelGrain(k*MR), func(lo, hi int) {
+		for ip := lo; ip < hi; ip++ {
+			p := ap[ip*k*MR : (ip+1)*k*MR]
+			i0 := ip * MR
+			rows := m - i0
+			if rows > MR {
+				rows = MR
+			}
+			if aT {
+				// a[l*m + i]: walk l-major, gathering the panel's rows.
+				for l := 0; l < k; l++ {
+					al := a[l*m+i0 : l*m+i0+rows]
+					pl := p[l*MR : l*MR+MR]
+					for r := 0; r < rows; r++ {
+						pl[r] = al[r]
+					}
+					for r := rows; r < MR; r++ {
+						pl[r] = 0
+					}
+				}
+			} else {
+				// a[i*k + l]: interleave the panel's rows l-major.
+				for r := 0; r < rows; r++ {
+					ar := a[(i0+r)*k : (i0+r)*k+k]
+					for l, v := range ar {
+						p[l*MR+r] = v
+					}
+				}
+				for r := rows; r < MR; r++ {
+					for l := 0; l < k; l++ {
+						p[l*MR+r] = 0
+					}
+				}
+			}
+		}
+	})
+}
+
+// packBF32 packs B[k,n] (or its transpose when bT: b stored [n,k]) into
+// column panels bp[(jp*k+l)*NR+c] = B[l][jp*NR+c], zero-padding columns
+// past n.
+func packBF32(e *engine.Engine, bp, b []float32, k, n int, bT bool) {
+	njp := (n + NR - 1) / NR
+	e.ParallelFor(njp, packPanelGrain(k*NR), func(lo, hi int) {
+		for jp := lo; jp < hi; jp++ {
+			p := bp[jp*k*NR : (jp+1)*k*NR]
+			j0 := jp * NR
+			cols := n - j0
+			if cols > NR {
+				cols = NR
+			}
+			if bT {
+				// b[j*k + l]: each panel column is a contiguous operand row.
+				for c := 0; c < cols; c++ {
+					bc := b[(j0+c)*k : (j0+c)*k+k]
+					for l, v := range bc {
+						p[l*NR+c] = v
+					}
+				}
+				for c := cols; c < NR; c++ {
+					for l := 0; l < k; l++ {
+						p[l*NR+c] = 0
+					}
+				}
+			} else {
+				// b[l*n + j]: panel rows are contiguous operand slices.
+				for l := 0; l < k; l++ {
+					bl := b[l*n+j0 : l*n+j0+cols]
+					pl := p[l*NR : l*NR+NR]
+					copy(pl, bl)
+					for c := cols; c < NR; c++ {
+						pl[c] = 0
+					}
+				}
+			}
+		}
+	})
+}
+
+// packAF16 is packAF32 with every element rounded through the float16
+// grid (the f16 storage emulation applied at pack time).
+func packAF16(e *engine.Engine, ap, a []float32, m, k int, aT bool) {
+	packAF32(e, ap, a, m, k, aT)
+	nip := (m + MR - 1) / MR
+	e.ParallelFor(nip, packPanelGrain(k*MR), func(lo, hi int) {
+		seg := ap[lo*k*MR : hi*k*MR]
+		precision.RoundF16Slice(seg, seg)
+	})
+}
+
+// packBF16F32 is packBF32 rounded through the float16 grid, stored as
+// float32 — the fallback B layout when no f16 conversion kernel exists.
+func packBF16F32(e *engine.Engine, bp, b []float32, k, n int, bT bool) {
+	packBF32(e, bp, b, k, n, bT)
+	njp := (n + NR - 1) / NR
+	e.ParallelFor(njp, packPanelGrain(k*NR), func(lo, hi int) {
+		seg := bp[lo*k*NR : hi*k*NR]
+		precision.RoundF16Slice(seg, seg)
+	})
+}
+
+// packBU16 packs B into column panels of raw float16 bits for the
+// vcvtph2ps kernel — same indexing as packBF32, half the bytes.
+func packBU16(e *engine.Engine, bp []uint16, b []float32, k, n int, bT bool) {
+	njp := (n + NR - 1) / NR
+	e.ParallelFor(njp, packPanelGrain(k*NR), func(lo, hi int) {
+		for jp := lo; jp < hi; jp++ {
+			p := bp[jp*k*NR : (jp+1)*k*NR]
+			j0 := jp * NR
+			cols := n - j0
+			if cols > NR {
+				cols = NR
+			}
+			if bT {
+				for c := 0; c < cols; c++ {
+					bc := b[(j0+c)*k : (j0+c)*k+k]
+					for l, v := range bc {
+						p[l*NR+c] = precision.F16Bits(v)
+					}
+				}
+				for c := cols; c < NR; c++ {
+					for l := 0; l < k; l++ {
+						p[l*NR+c] = 0
+					}
+				}
+			} else {
+				for l := 0; l < k; l++ {
+					bl := b[l*n+j0 : l*n+j0+cols]
+					pl := p[l*NR : l*NR+NR]
+					for c, v := range bl {
+						pl[c] = precision.F16Bits(v)
+					}
+					for c := cols; c < NR; c++ {
+						pl[c] = 0
+					}
+				}
+			}
+		}
+	})
+}
+
+// packAI16 quantizes A to int8 levels (the precision.QuantizeI8 grid at
+// scale sa) widened to int16, packed as consecutive K pairs:
+// ap[(ip*kp+l2)*MR*2 + r*2 + p] = Qa[ip*MR+r][2*l2+p]. The pair layout
+// matches vpmaddwd's horizontal i16-pair dot; odd K pads a zero level.
+func packAI16(e *engine.Engine, ap []int16, a []float32, m, k int, sa float32, aT bool) {
+	kp := (k + 1) / 2
+	inv := 1 / sa
+	nip := (m + MR - 1) / MR
+	e.ParallelFor(nip, packPanelGrain(kp*2*MR), func(lo, hi int) {
+		for ip := lo; ip < hi; ip++ {
+			p := ap[ip*kp*2*MR : (ip+1)*kp*2*MR]
+			i0 := ip * MR
+			rows := m - i0
+			if rows > MR {
+				rows = MR
+			}
+			if !aT && rows == MR {
+				// Interior panel, row-major operand: quantize four
+				// contiguous rows straight into pair groups, writing every
+				// panel element exactly once.
+				a0 := a[i0*k : i0*k+k]
+				a1 := a[(i0+1)*k : (i0+1)*k+k]
+				a2 := a[(i0+2)*k : (i0+2)*k+k]
+				a3 := a[(i0+3)*k : (i0+3)*k+k]
+				o, l := 0, 0
+				for ; l+1 < k; l += 2 {
+					q := p[o : o+2*MR : o+2*MR]
+					q[0] = int16(precision.I8Level(a0[l], inv))
+					q[1] = int16(precision.I8Level(a0[l+1], inv))
+					q[2] = int16(precision.I8Level(a1[l], inv))
+					q[3] = int16(precision.I8Level(a1[l+1], inv))
+					q[4] = int16(precision.I8Level(a2[l], inv))
+					q[5] = int16(precision.I8Level(a2[l+1], inv))
+					q[6] = int16(precision.I8Level(a3[l], inv))
+					q[7] = int16(precision.I8Level(a3[l+1], inv))
+					o += 2 * MR
+				}
+				if l < k { // odd K: second lane of the last pair is zero
+					q := p[o : o+2*MR : o+2*MR]
+					q[0], q[1] = int16(precision.I8Level(a0[l], inv)), 0
+					q[2], q[3] = int16(precision.I8Level(a1[l], inv)), 0
+					q[4], q[5] = int16(precision.I8Level(a2[l], inv)), 0
+					q[6], q[7] = int16(precision.I8Level(a3[l], inv)), 0
+				}
+				continue
+			}
+			// Edge or transposed panel: walk pair groups, zeroing the
+			// padded rows and the odd-K lane in place.
+			for l2 := 0; l2 < kp; l2++ {
+				q := p[l2*2*MR : (l2+1)*2*MR]
+				l0 := 2 * l2
+				for r := 0; r < MR; r++ {
+					var v0, v1 int16
+					if r < rows {
+						if aT {
+							v0 = int16(precision.I8Level(a[l0*m+i0+r], inv))
+							if l0+1 < k {
+								v1 = int16(precision.I8Level(a[(l0+1)*m+i0+r], inv))
+							}
+						} else {
+							v0 = int16(precision.I8Level(a[(i0+r)*k+l0], inv))
+							if l0+1 < k {
+								v1 = int16(precision.I8Level(a[(i0+r)*k+l0+1], inv))
+							}
+						}
+					}
+					q[r*2] = v0
+					q[r*2+1] = v1
+				}
+			}
+		}
+	})
+}
+
+// packBI8 quantizes B to int8 levels at scale sb, packed as consecutive
+// K pairs: bp[(jp*kp+l2)*NR*2 + c*2 + p] = Qb[2*l2+p][jp*NR+c]. The
+// kernel widens these to int16 at load (vpmovsxbw), pairing each column's
+// two K levels for vpmaddwd.
+func packBI8(e *engine.Engine, bp []int8, b []float32, k, n int, sb float32, bT bool) {
+	kp := (k + 1) / 2
+	inv := 1 / sb
+	njp := (n + NR - 1) / NR
+	e.ParallelFor(njp, packPanelGrain(kp*2*NR), func(lo, hi int) {
+		for jp := lo; jp < hi; jp++ {
+			p := bp[jp*kp*2*NR : (jp+1)*kp*2*NR]
+			j0 := jp * NR
+			cols := n - j0
+			if cols > NR {
+				cols = NR
+			}
+			if !bT && cols == NR {
+				// Interior panel, row-major operand: interleave two
+				// contiguous operand rows per pair group, writing every
+				// panel element exactly once.
+				o, l := 0, 0
+				for ; l+1 < k; l += 2 {
+					b0 := b[l*n+j0 : l*n+j0+NR]
+					b1 := b[(l+1)*n+j0 : (l+1)*n+j0+NR]
+					q := p[o : o+2*NR : o+2*NR]
+					for c := 0; c < NR; c++ {
+						q[c*2] = precision.I8Level(b0[c], inv)
+						q[c*2+1] = precision.I8Level(b1[c], inv)
+					}
+					o += 2 * NR
+				}
+				if l < k { // odd K: second lane of the last pair is zero
+					b0 := b[l*n+j0 : l*n+j0+NR]
+					q := p[o : o+2*NR : o+2*NR]
+					for c := 0; c < NR; c++ {
+						q[c*2] = precision.I8Level(b0[c], inv)
+						q[c*2+1] = 0
+					}
+				}
+				continue
+			}
+			// Edge or transposed panel: walk pair groups, zeroing the
+			// padded columns and the odd-K lane in place.
+			for l2 := 0; l2 < kp; l2++ {
+				q := p[l2*2*NR : (l2+1)*2*NR]
+				l0 := 2 * l2
+				for c := 0; c < NR; c++ {
+					var v0, v1 int8
+					if c < cols {
+						if bT {
+							v0 = precision.I8Level(b[(j0+c)*k+l0], inv)
+							if l0+1 < k {
+								v1 = precision.I8Level(b[(j0+c)*k+l0+1], inv)
+							}
+						} else {
+							v0 = precision.I8Level(b[l0*n+j0+c], inv)
+							if l0+1 < k {
+								v1 = precision.I8Level(b[(l0+1)*n+j0+c], inv)
+							}
+						}
+					}
+					q[c*2] = v0
+					q[c*2+1] = v1
+				}
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"mmbench/internal/device"
 	"mmbench/internal/engine"
 	"mmbench/internal/fusion"
+	"mmbench/internal/gemm"
 	"mmbench/internal/mmnet"
 	"mmbench/internal/models"
 	"mmbench/internal/ops"
@@ -51,8 +52,19 @@ func TestBranchParallelForwardBitwise(t *testing.T) {
 			// real interleavings. Any engine is bitwise-equivalent.
 			eng := engine.New(4)
 			defer eng.Close()
+			// The packed GEMM core must engage under both schedules —
+			// otherwise this test would pass without covering the packed
+			// kernels' determinism contract.
+			packs := gemm.PackStats().PanelCheckouts
 			seq := n.Forward(&ops.Ctx{SequentialBranches: true}, b)
+			if now := gemm.PackStats().PanelCheckouts; now == packs {
+				t.Fatal("sequential forward drew no pack panels — packed GEMM core not exercised")
+			}
+			packs = gemm.PackStats().PanelCheckouts
 			par := n.Forward(&ops.Ctx{Eng: eng}, b)
+			if now := gemm.PackStats().PanelCheckouts; now == packs {
+				t.Fatal("parallel forward drew no pack panels — packed GEMM core not exercised")
+			}
 			sd, pd := seq.Value.Data(), par.Value.Data()
 			if len(sd) != len(pd) {
 				t.Fatalf("output sizes differ: %d vs %d", len(sd), len(pd))

@@ -1,6 +1,7 @@
 package ops
 
 import (
+	"fmt"
 	"testing"
 
 	"mmbench/internal/autograd"
@@ -130,6 +131,35 @@ func benchVar(g *tensor.RNG, shape ...int) *Var {
 	t := tensor.New(shape...)
 	g.Uniform(t, -1, 1)
 	return autograd.NewVar(t)
+}
+
+// BenchmarkMatMulShapes sweeps the f32 MatMul operator across square
+// shapes (64³ … 1024³) and the skinny shapes the model actually hits:
+// 128×64×512 (a projection-like tall-thin product) and 32×64×64 (the
+// attention score tile, Tq-tile × dh × Tk). Square shapes from 64³ up
+// ride the packed micro-kernel; the sweep pins the crossover behaviour
+// in BENCH_ops.json so pack-path regressions show per shape class.
+func BenchmarkMatMulShapes(b *testing.B) {
+	shapes := []struct{ m, k, n int }{
+		{64, 64, 64},
+		{128, 128, 128},
+		{256, 256, 256},
+		{512, 512, 512},
+		{1024, 1024, 1024},
+		{128, 64, 512},
+		{32, 64, 64},
+	}
+	for _, s := range shapes {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			g := tensor.NewRNG(41)
+			x := benchVar(g, s.m, s.k)
+			y := benchVar(g, s.k, s.n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Infer().MatMul(x, y)
+			}
+		})
+	}
 }
 
 func BenchmarkMatMul128(b *testing.B) {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"mmbench/internal/engine"
+	"mmbench/internal/gemm"
 	"mmbench/internal/kernels"
 	"mmbench/internal/precision"
 )
@@ -88,32 +89,50 @@ func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
 	kDim := ch * kh * kw
 	m := oh * ow
 	prec := c.prec
+	// Above the packed-core crossover, reduced-precision operands
+	// quantize inside the panel packing (gemm.I8/gemm.F16) — no pooled
+	// level copies, int32 accumulation for i8. Below it, the legacy
+	// emulation quantizes pooled copies and runs the f32 kernels.
+	packedLowp := prec != precision.F32 &&
+		int64(outC)*int64(kDim)*int64(m) >= packMinFlops
 	gemmW := wdta
 	var qw []float32
-	var xScale, deqScale float32
+	var xScale, wScale, deqScale float32
 	if prec != precision.F32 {
-		// Weights are quantized once per call; each sample's im2col
-		// expansion is quantized in place with the input tensor's
-		// calibration (col entries are copies of input entries plus
-		// zero padding, so the input's maxabs bounds the col's).
 		countLowp(prec)
-		var sw float32
-		qw, sw = quantizeOperand(e, prec, wdta)
-		gemmW = qw
 		if prec == precision.I8 {
+			// Each sample's im2col expansion is quantized with the input
+			// tensor's calibration (col entries are copies of input
+			// entries plus zero padding, so the input's maxabs bounds the
+			// col's).
 			xScale = precision.I8Scale(precision.MaxAbs(xd))
-			deqScale = xScale * sw
+		}
+		if packedLowp {
+			if prec == precision.I8 {
+				wScale = precision.I8Scale(precision.MaxAbs(wdta))
+			}
+		} else {
+			var sw float32
+			qw, sw = quantizeOperand(e, prec, wdta)
+			gemmW = qw
+			if prec == precision.I8 {
+				deqScale = xScale * sw
+			}
 		}
 	}
 	col := e.GetUninit(kDim * m) // im2col writes every entry
 	for ni := 0; ni < n; ni++ {
 		im2col(e, col, xd[ni*ch*h*wd:(ni+1)*ch*h*wd], ch, h, wd, kh, kw, oh, ow, stride, pad)
 		oslice := od[ni*outC*m : (ni+1)*outC*m]
-		switch prec {
-		case precision.F16:
+		switch {
+		case packedLowp && prec == precision.I8:
+			gemm.I8(e, oslice, wdta, col, outC, kDim, m, 1, wScale, xScale, false, false)
+		case packedLowp:
+			gemm.F16(e, oslice, wdta, col, outC, kDim, m, 1, false, false)
+		case prec == precision.F16:
 			roundSliceF16(e, col)
 			matmulNN(e, oslice, gemmW, col, outC, kDim, m)
-		case precision.I8:
+		case prec == precision.I8:
 			e.ParallelFor(len(col), elemGrain, func(lo, hi int) {
 				precision.QuantizeI8(col[lo:hi], col[lo:hi], xScale)
 			})

@@ -4,15 +4,19 @@ import (
 	"fmt"
 
 	"mmbench/internal/engine"
+	"mmbench/internal/gemm"
 	"mmbench/internal/kernels"
 	"mmbench/internal/precision"
 )
 
-// The matmul kernels partition work over rows of dst and run the row
-// tiles on the compute engine. Each dst element is produced by exactly
-// one tile with a fixed ascending-l accumulation order, so results are
-// bitwise identical at any worker count (and identical to the previous
-// serial kernels).
+// GEMM dispatch: products with at least packMinFlops multiply-adds run
+// the packed-panel register-blocked core (internal/gemm); smaller
+// products keep the legacy in-place row kernels below, whose fixed
+// overhead is lower than a pack/compute/unpack round trip. Both
+// thresholds are shape-only, so kernel selection — like chunking —
+// never depends on the machine or worker count, preserving bitwise
+// determinism. Each dst element is produced by exactly one tile with a
+// fixed ascending-l accumulation order on either path.
 const (
 	// matmulRowTile rows per parallel chunk: enough for the k-blocked
 	// inner kernel to reuse each b row across the tile.
@@ -24,6 +28,14 @@ const (
 	// costs more than it saves (a fixed shape-only threshold, so the
 	// serial/parallel choice never depends on the machine).
 	minParallelFlops = 1 << 15
+	// packMinFlops is the packed-core crossover. Measured single-threaded
+	// (Xeon 2.10GHz, AVX2 kernel): the packed core wins at every square
+	// shape from 16³ up — 2.7× at 16³ (1.3µs vs 3.5µs), 4.7× at 32³,
+	// 10.9× at 128³ — so the threshold exists only to keep genuinely tiny
+	// products (and the nil-engine per-batch edge, where panels cannot
+	// pool) on the cheap in-place kernels. 1<<14 puts 24³ and below on
+	// the legacy path and everything from 32³ up on the packed core.
+	packMinFlops = 1 << 14
 )
 
 func serialIfSmall(e *engine.Engine, flops int64) *engine.Engine {
@@ -42,7 +54,12 @@ func matmulNN(e *engine.Engine, dst, a, b []float32, m, k, n int) {
 // folds into the broadcast multiplier (one multiply per a element, not
 // per product term), so alpha == 1 is bitwise identical to matmulNN.
 func matmulNNAlpha(e *engine.Engine, dst, a, b []float32, m, k, n int, alpha float32) {
-	e = serialIfSmall(e, int64(m)*int64(k)*int64(n))
+	flops := int64(m) * int64(k) * int64(n)
+	if flops >= packMinFlops {
+		gemm.F32(e, dst, a, b, m, k, n, alpha, false, false)
+		return
+	}
+	e = serialIfSmall(e, flops)
 	e.ParallelFor(m, matmulRowTile, func(i0, i1 int) {
 		for l0 := 0; l0 < k; l0 += matmulKBlock {
 			l1 := l0 + matmulKBlock
@@ -78,7 +95,14 @@ func matmulNT(e *engine.Engine, dst, a, b []float32, m, n, k int) {
 // folding the attention 1/√dh here changes no bits versus the old
 // MatMul→Scale composition.
 func matmulNTAlpha(e *engine.Engine, dst, a, b []float32, m, n, k int, alpha float32) {
-	e = serialIfSmall(e, int64(m)*int64(n)*int64(k))
+	flops := int64(m) * int64(n) * int64(k)
+	if flops >= packMinFlops {
+		// dst[m,k] += alpha·a[m,n]·b[k,n]ᵀ: b is the [N,K]-stored right
+		// operand of an m×n×k product.
+		gemm.F32(e, dst, a, b, m, n, k, alpha, false, true)
+		return
+	}
+	e = serialIfSmall(e, flops)
 	e.ParallelFor(m, matmulRowTile, func(i0, i1 int) {
 		for i := i0; i < i1; i++ {
 			ar := a[i*n : (i+1)*n]
@@ -127,7 +151,14 @@ func matmulTN(e *engine.Engine, dst, a, b []float32, m, k, n int) {
 // matmulTNAlpha computes dst[k,n] += alpha · a[m,k]ᵀ · b[m,n], with
 // alpha folded into the broadcast multiplier like matmulNNAlpha.
 func matmulTNAlpha(e *engine.Engine, dst, a, b []float32, m, k, n int, alpha float32) {
-	e = serialIfSmall(e, int64(m)*int64(k)*int64(n))
+	flops := int64(m) * int64(k) * int64(n)
+	if flops >= packMinFlops {
+		// dst[k,n] += alpha·a[m,k]ᵀ·b[m,n]: a is the [K,M]-stored left
+		// operand of a k×m×n product.
+		gemm.F32(e, dst, a, b, k, m, n, alpha, true, false)
+		return
+	}
+	e = serialIfSmall(e, flops)
 	e.ParallelFor(k, matmulRowTile, func(i0, i1 int) {
 		for i := i0; i < i1; i++ {
 			dr := dst[i*n : (i+1)*n]
@@ -356,20 +387,36 @@ func (c *Ctx) Linear(x, w, bias *Var) *Var {
 	od := out.Value.Data()
 	if p := c.prec; p != precision.F32 {
 		// Weights and activations are stored at the reduced precision;
-		// the bias joins in the f32 accumulator (for f16 the sum is
+		// the bias joins in the wide accumulator (for f16 the sum is
 		// re-stored through the grid exactly once, after the bias, like
 		// Conv2D; for i8 the dequantized output stays f32 — both the
-		// usual hardware arrangement).
+		// usual hardware arrangement). Above the packed crossover the
+		// operands quantize inside the panel packing (int32 accumulation
+		// for i8); below it, pooled emulation copies.
 		countLowp(p)
-		qx, sx := quantizeOperand(e, p, x.Value.Data())
-		qw, sw := quantizeOperand(e, p, w.Value.Data())
-		matmulNN(e, od, qx, qw, rows, in, outDim)
-		e.Put(qx)
-		e.Put(qw)
-		if p == precision.I8 {
-			scaleSlice(e, od, sx*sw)
-		} else if bias == nil {
-			roundSliceF16(e, od)
+		if int64(rows)*int64(in)*int64(outDim) >= packMinFlops {
+			xd, wd := x.Value.Data(), w.Value.Data()
+			if p == precision.I8 {
+				sx := precision.I8Scale(precision.MaxAbs(xd))
+				sw := precision.I8Scale(precision.MaxAbs(wd))
+				gemm.I8(e, od, xd, wd, rows, in, outDim, 1, sx, sw, false, false)
+			} else {
+				gemm.F16(e, od, xd, wd, rows, in, outDim, 1, false, false)
+				if bias == nil {
+					roundSliceF16(e, od)
+				}
+			}
+		} else {
+			qx, sx := quantizeOperand(e, p, x.Value.Data())
+			qw, sw := quantizeOperand(e, p, w.Value.Data())
+			matmulNN(e, od, qx, qw, rows, in, outDim)
+			e.Put(qx)
+			e.Put(qw)
+			if p == precision.I8 {
+				scaleSlice(e, od, sx*sw)
+			} else if bias == nil {
+				roundSliceF16(e, od)
+			}
 		}
 	} else {
 		matmulNN(e, od, x.Value.Data(), w.Value.Data(), rows, in, outDim)

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"mmbench/internal/engine"
+	"mmbench/internal/gemm"
 	"mmbench/internal/precision"
 )
 
@@ -139,10 +140,28 @@ func finishLowp(e *engine.Engine, prec precision.Type, dst []float32, scale floa
 }
 
 // lowpMatmulNN computes dst[m,n] = a[m,k]·b[k,n] with operands stored
-// at prec and f32 accumulation. dst must start zeroed (it receives the
-// raw accumulator, then finishLowp converts it in place).
+// at prec and wide accumulation. dst must start zeroed.
+//
+// Above the packed-core crossover the real reduced-precision kernels
+// run: int8 quantizes straight into packed panels and accumulates in
+// int32 (gemm.I8 — no float-level emulation copies), f16 rounds into
+// packed panels with f32 accumulation (gemm.F16). Below it, the legacy
+// emulation quantizes pooled operand copies and runs the f32 kernels;
+// both arrangements calibrate with the same order-independent maxabs
+// reduction and dequantize after accumulation.
 func lowpMatmulNN(e *engine.Engine, prec precision.Type, dst, a, b []float32, m, k, n int) {
 	countLowp(prec)
+	if int64(m)*int64(k)*int64(n) >= packMinFlops {
+		if prec == precision.I8 {
+			sa := precision.I8Scale(precision.MaxAbs(a))
+			sb := precision.I8Scale(precision.MaxAbs(b))
+			gemm.I8(e, dst, a, b, m, k, n, 1, sa, sb, false, false)
+		} else {
+			gemm.F16(e, dst, a, b, m, k, n, 1, false, false)
+			roundSliceF16(e, dst)
+		}
+		return
+	}
 	qa, sa := quantizeOperand(e, prec, a)
 	qb, sb := quantizeOperand(e, prec, b)
 	matmulNN(e, dst, qa, qb, m, k, n)

@@ -6,6 +6,7 @@ import (
 
 	"mmbench/internal/autograd"
 	"mmbench/internal/engine"
+	"mmbench/internal/gemm"
 	"mmbench/internal/precision"
 	"mmbench/internal/tensor"
 )
@@ -158,17 +159,27 @@ func TestLowpPooledScratchPoisonSafe(t *testing.T) {
 
 func TestPrecisionStatsCount(t *testing.T) {
 	before := PrecisionStats()
+	packBefore := gemm.PackStats()
 	e := engine.New(1)
 	defer e.Close()
 	g := tensor.NewRNG(3)
+	// lowpKernels[0] (MatMul 48×40×32) sits above the packed-core
+	// crossover: operands quantize inside the panel packing, counted by
+	// the pack-panel stats. lowpKernels[1] (Linear 24×40×16) sits below
+	// it and draws pooled emulation copies, counted by QuantScratchBytes.
 	lowpKernels[0].run(lowpCtx(e, precision.F16), g)
 	lowpKernels[0].run(lowpCtx(e, precision.I8), g)
+	lowpKernels[1].run(lowpCtx(e, precision.I8), g)
 	after := PrecisionStats()
+	packAfter := gemm.PackStats()
 	if after.F16Kernels != before.F16Kernels+1 {
 		t.Errorf("f16 kernel count %d -> %d, want +1", before.F16Kernels, after.F16Kernels)
 	}
-	if after.I8Kernels != before.I8Kernels+1 {
-		t.Errorf("i8 kernel count %d -> %d, want +1", before.I8Kernels, after.I8Kernels)
+	if after.I8Kernels != before.I8Kernels+2 {
+		t.Errorf("i8 kernel count %d -> %d, want +2", before.I8Kernels, after.I8Kernels)
+	}
+	if packAfter.PanelBytes <= packBefore.PanelBytes {
+		t.Errorf("pack-panel bytes did not grow: %d -> %d", packBefore.PanelBytes, packAfter.PanelBytes)
 	}
 	if after.QuantScratchBytes <= before.QuantScratchBytes {
 		t.Errorf("quant scratch bytes did not grow: %d -> %d", before.QuantScratchBytes, after.QuantScratchBytes)

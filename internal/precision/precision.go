@@ -150,14 +150,49 @@ func RoundF16Slice(dst, src []float32) {
 // MaxAbs returns the largest magnitude in xs (0 for an empty slice).
 // NaNs are ignored; an Inf saturates the calibration. The reduction is
 // order-independent, so it may be computed serially or in chunks.
+// Magnitudes are compared as sign-cleared IEEE bit patterns, which order
+// identically to the values for everything up to Inf (NaN payloads sit
+// above the Inf pattern and are skipped).
+// Four independent running maxima break the compare's loop-carried
+// dependency; calibration is on the critical path of every packed int8
+// GEMM, so the scan needs to run near memory speed.
 func MaxAbs(xs []float32) float32 {
-	var m float32
-	for _, x := range xs {
-		if a := float32(math.Abs(float64(x))); a > m {
-			m = a
+	var m0, m1, m2, m3 uint32
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		b0 := math.Float32bits(xs[i]) &^ (1 << 31)
+		b1 := math.Float32bits(xs[i+1]) &^ (1 << 31)
+		b2 := math.Float32bits(xs[i+2]) &^ (1 << 31)
+		b3 := math.Float32bits(xs[i+3]) &^ (1 << 31)
+		if b0 > m0 && b0 <= f16InfBits {
+			m0 = b0
+		}
+		if b1 > m1 && b1 <= f16InfBits {
+			m1 = b1
+		}
+		if b2 > m2 && b2 <= f16InfBits {
+			m2 = b2
+		}
+		if b3 > m3 && b3 <= f16InfBits {
+			m3 = b3
 		}
 	}
-	return m
+	for ; i < len(xs); i++ {
+		b := math.Float32bits(xs[i]) &^ (1 << 31)
+		if b > m0 && b <= f16InfBits {
+			m0 = b
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	return math.Float32frombits(m0)
 }
 
 // I8Scale returns the symmetric per-tensor quantization scale for a
@@ -171,6 +206,31 @@ func I8Scale(maxAbs float32) float32 {
 	return maxAbs / 127
 }
 
+// i8RoundMagic is 1.5·2²³: adding then subtracting it forces a float32
+// through the binade whose ulp is 1, so the hardware's round-to-nearest-
+// even produces the RNE integer of any |v| ≤ 2²² in two adds — no
+// float64 round call in the quantization inner loop.
+const i8RoundMagic = float32(3 << 22)
+
+// I8Level returns the int8 quantization level of one value on the grid
+// QuantizeI8 defines: clamp(rne(x·inv), -127, 127) with inv = 1/scale.
+// It is the single definition of the int8 grid; the packed GEMM core
+// quantizes panels through it so packed and emulated kernels agree on
+// every level. Clamping before the rounding add keeps the magic-constant
+// trick exact for any input (a clamped |v| is ≤ 127, and round-then-
+// clamp equals clamp-then-round at the boundary). NaN maps to level 0.
+func I8Level(x, inv float32) int8 {
+	v := x * inv
+	if v > 127 {
+		v = 127
+	} else if v < -127 {
+		v = -127
+	} else if v != v {
+		return 0
+	}
+	return int8((v + i8RoundMagic) - i8RoundMagic)
+}
+
 // QuantizeI8 stores dst[i] = clamp(rne(src[i]/scale), -127, 127): the
 // integer quantization level of each element, kept in float32 so the
 // engine's f32 kernels can accumulate integer products exactly (products
@@ -180,13 +240,7 @@ func I8Scale(maxAbs float32) float32 {
 func QuantizeI8(dst, src []float32, scale float32) {
 	inv := 1 / scale
 	for i, x := range src {
-		q := float32(math.RoundToEven(float64(x * inv)))
-		if q > 127 {
-			q = 127
-		} else if q < -127 {
-			q = -127
-		}
-		dst[i] = q
+		dst[i] = float32(I8Level(x, inv))
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mmbench/internal/engine"
+	"mmbench/internal/gemm"
 	"mmbench/internal/mmnet"
 	"mmbench/internal/obs"
 	"mmbench/internal/ops"
@@ -67,6 +68,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.counter("mmbench_engine_pool_hits_total", "Buffer-pool hits.", float64(es.PoolHits))
 	m.counter("mmbench_engine_pool_misses_total", "Buffer-pool misses.", float64(es.PoolMisses))
 	m.counter("mmbench_engine_pool_reused_bytes_total", "Bytes served from the buffer pool.", float64(es.BytesReused))
+
+	gs := gemm.PackStats()
+	m.counter("mmbench_engine_pack_checkouts_total", "Packed-GEMM panel buffers drawn.", float64(gs.PanelCheckouts))
+	m.counter("mmbench_engine_pack_bytes_total", "Packed-GEMM panel scratch bytes drawn.", float64(gs.PanelBytes))
+	m.counter("mmbench_engine_pack_pool_hits_total", "Packed-GEMM panel checkouts served from the pool.", float64(gs.PanelPoolHits))
 
 	as := ops.AttentionStats()
 	m.counter("mmbench_attention_fused_calls_total", "Fused attention invocations.", float64(as.FusedCalls))

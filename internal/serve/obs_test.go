@@ -56,6 +56,26 @@ func TestStatsStageLatencyAndQueue(t *testing.T) {
 	}
 }
 
+// An eager run's GEMMs ride the packed micro-kernel (the model's conv
+// and linear shapes sit above the pack crossover), so the stats must
+// report panel traffic and the selected kernel implementation.
+func TestStatsReportsPackActivity(t *testing.T) {
+	_, ts := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/run", `{"workload":"avmnist","eager":true,"batch":2}`, nil)
+
+	var st Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Engine.Pack.Kernel == "" {
+		t.Error("engine.pack.kernel is empty")
+	}
+	if st.Engine.Pack.PanelCheckouts <= 0 || st.Engine.Pack.PanelBytes <= 0 {
+		t.Errorf("no pack-panel traffic after an eager run: %+v", st.Engine.Pack)
+	}
+	if hr := st.Engine.Pack.HitRate; hr < 0 || hr > 1 {
+		t.Errorf("pack hit rate %v outside [0,1]", hr)
+	}
+}
+
 func TestQueueWaitAppearsAfterSweep(t *testing.T) {
 	_, ts := newTestServer(t)
 	var sweep struct {
@@ -111,6 +131,9 @@ func TestMetricsExposition(t *testing.T) {
 		"mmbench_queue_depth",
 		"mmbench_engine_tasks_total",
 		"mmbench_engine_pool_hits_total",
+		"mmbench_engine_pack_checkouts_total",
+		"mmbench_engine_pack_bytes_total",
+		"mmbench_engine_pack_pool_hits_total",
 		"mmbench_attention_fused_calls_total",
 		"mmbench_branches_parallel_forwards_total",
 		"mmbench_precision_f16_kernels_total",

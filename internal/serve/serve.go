@@ -22,6 +22,7 @@ import (
 
 	"mmbench"
 	"mmbench/internal/engine"
+	"mmbench/internal/gemm"
 	"mmbench/internal/jobs"
 	"mmbench/internal/mmnet"
 	"mmbench/internal/obs"
@@ -335,11 +336,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 // Stats is the GET /v1/stats body.
 type Stats struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Requests      uint64         `json:"requests"`
-	ThroughputRPS float64        `json:"throughput_rps"`
-	EncodeErrors  uint64         `json:"encode_errors"`
-	Latency       LatencyStats   `json:"service_latency_ms"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Requests      uint64       `json:"requests"`
+	ThroughputRPS float64      `json:"throughput_rps"`
+	EncodeErrors  uint64       `json:"encode_errors"`
+	Latency       LatencyStats `json:"service_latency_ms"`
 	// StageLatency reports measured per-stage wall-clock percentiles
 	// (milliseconds) over every profiled eager execution the process
 	// ran; empty until the first eager run.
@@ -388,6 +389,18 @@ type CacheStats struct {
 type EngineStats struct {
 	engine.Stats
 	PoolHitRate float64 `json:"pool_hit_rate"`
+	// Pack reports the packed GEMM core's panel-scratch traffic and
+	// which micro-kernel implementation the process selected.
+	Pack PackStats `json:"pack"`
+}
+
+// PackStats extends the pack-panel pool counters of the packed GEMM
+// core (internal/gemm) with the derived hit rate and the active
+// micro-kernel name ("avx2-fma+vnni", "avx2-fma" or "generic").
+type PackStats struct {
+	gemm.PackActivity
+	HitRate float64 `json:"hit_rate"`
+	Kernel  string  `json:"kernel"`
 }
 
 // AttentionStats reports the attention-path toggle and the fused
@@ -454,6 +467,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	wait := s.pool.QueueWait()
 	cs := s.runner.Stats()
 	es := engine.TotalStats()
+	packs := gemm.PackStats()
 	counts := s.pool.Counts()
 	s.writeJSON(w, r, http.StatusOK, Stats{
 		UptimeSeconds: uptime,
@@ -471,8 +485,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Depth:  s.pool.QueueDepth(),
 			WaitMs: wait.SummaryMs(),
 		},
-		Cache:  CacheStats{Stats: cs, HitRate: cs.HitRate()},
-		Engine: EngineStats{Stats: es, PoolHitRate: es.HitRate()},
+		Cache: CacheStats{Stats: cs, HitRate: cs.HitRate()},
+		Engine: EngineStats{
+			Stats:       es,
+			PoolHitRate: es.HitRate(),
+			Pack: PackStats{
+				PackActivity: packs,
+				HitRate:      packs.HitRate(),
+				Kernel:       gemm.KernelName(),
+			},
+		},
 		Attention: AttentionStats{
 			Fused:             !ops.DefaultUnfusedAttention(),
 			AttentionActivity: ops.AttentionStats(),

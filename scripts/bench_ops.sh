@@ -10,7 +10,8 @@
 # (BenchmarkMatMulI8, BenchmarkAttentionF16), which tracks the
 # quantize/dequantize overhead of the emulated low-precision kernels
 # against their f32 baselines (BenchmarkEngineMatMul,
-# BenchmarkAttentionFused).
+# BenchmarkAttentionFused), and the BenchmarkMatMulShapes sweep, which
+# pins the packed GEMM micro-kernel across square and skinny shapes.
 # Benchmark wall times are machine-dependent; the baseline is meant for
 # relative comparisons on one machine (e.g. CI runners of the same
 # class), not absolute thresholds.
