@@ -1,6 +1,7 @@
 package mmbench
 
 import (
+	"context"
 	"encoding/json"
 	"strconv"
 
@@ -36,7 +37,19 @@ type cachedRun struct {
 
 // Run is the cached equivalent of the package-level Run.
 func (cr *CachedRunner) Run(cfg RunConfig) (*Report, error) {
-	v, err := cr.do(cfg)
+	v, err := cr.do(nil, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return v.rep, nil
+}
+
+// RunCtx is Run under a cancellable context. A cancelled execution
+// returns ctx.Err() and is never cached: the failure belongs to the
+// cancelled request, and concurrent requests coalesced onto it retry
+// with their own context instead of inheriting the error.
+func (cr *CachedRunner) RunCtx(ctx context.Context, cfg RunConfig) (*Report, error) {
+	v, err := cr.do(ctx, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -48,23 +61,67 @@ func (cr *CachedRunner) Run(cfg RunConfig) (*Report, error) {
 // entry was executed; only real executions observe into the
 // process-wide stage histograms, so hits never skew the distributions.
 func (cr *CachedRunner) RunProfiled(cfg RunConfig) (*Report, map[string]float64, error) {
-	v, err := cr.do(cfg)
+	v, err := cr.do(nil, cfg, nil)
 	if err != nil {
 		return nil, nil, err
 	}
 	return v.rep, v.stageMs, nil
 }
 
-func (cr *CachedRunner) do(cfg RunConfig) (*cachedRun, error) {
-	v, err := cr.cache.Do(cfg.cacheKey(), func() (any, int64, error) {
+// RunProfiledCtx is RunProfiled under a cancellable context (see
+// RunCtx).
+func (cr *CachedRunner) RunProfiledCtx(ctx context.Context, cfg RunConfig) (*Report, map[string]float64, error) {
+	v, err := cr.do(ctx, cfg, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.rep, v.stageMs, nil
+}
+
+// ComputeFn is one real (cache-missing) profile execution, run under
+// ctx. It is the unit an execution wrapper (RunProfiledCtxVia) may
+// reschedule; the returned value is the opaque cache entry.
+type ComputeFn func(ctx context.Context) (any, error)
+
+// RunProfiledCtxVia is RunProfiledCtx with an execution wrapper: via
+// receives the real computation and decides how (and whether) to run
+// it — the serve layer routes it through scheduler admission control.
+// Cache hits and coalesced waiters never invoke via, so repeated or
+// concurrent identical requests cost one admission and one execution
+// no matter how many clients ask. via must either return compute's
+// result unchanged or an error; errors (including shed admissions) are
+// never cached and never shared with coalesced waiters.
+func (cr *CachedRunner) RunProfiledCtxVia(ctx context.Context, cfg RunConfig, via func(compute ComputeFn) (any, error)) (*Report, map[string]float64, error) {
+	v, err := cr.do(ctx, cfg, via)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.rep, v.stageMs, nil
+}
+
+func (cr *CachedRunner) do(ctx context.Context, cfg RunConfig, via func(ComputeFn) (any, error)) (*cachedRun, error) {
+	compute := func(cctx context.Context) (any, error) {
 		// Eager executions are profiled unconditionally (the profiler is
 		// a pure observer), so every real run — sweeps included — feeds
 		// the per-stage latency histograms behind /metrics.
-		rep, stageMs, err := RunProfiled(cfg)
+		rep, stageMs, err := RunProfiledCtx(cctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &cachedRun{rep: rep, stageMs: stageMs}, nil
+	}
+	v, err := cr.cache.Do(cfg.cacheKey(), func() (any, int64, error) {
+		var v any
+		var err error
+		if via != nil {
+			v, err = via(compute)
+		} else {
+			v, err = compute(ctx)
+		}
 		if err != nil {
 			return nil, 0, err
 		}
-		return &cachedRun{rep: rep, stageMs: stageMs}, reportBytes(rep), nil
+		return v, reportBytes(v.(*cachedRun).rep), nil
 	})
 	if err != nil {
 		return nil, err
@@ -90,6 +147,18 @@ func reportBytes(r *Report) int64 {
 // that, e.g., an empty Device and an explicit "2080ti" share one cache
 // entry, and the seed is ignored unless eager mode actually uses it.
 func (cfg RunConfig) cacheKey() string {
+	return resultcache.Key(cfg.canonicalFields(true))
+}
+
+// Fingerprint canonicalizes the config's workload identity — the cache
+// key minus the seed — so failure tracking (the serve layer's panic
+// quarantine) groups every run of one workload configuration together
+// regardless of which data seed happened to trigger the fault.
+func (cfg RunConfig) Fingerprint() string {
+	return resultcache.Key(cfg.canonicalFields(false))
+}
+
+func (cfg RunConfig) canonicalFields(includeSeed bool) map[string]string {
 	norm := cfg
 	if norm.Device == "" {
 		norm.Device = "2080ti"
@@ -114,7 +183,9 @@ func (cfg RunConfig) cacheKey() string {
 		"batch":    strconv.Itoa(norm.BatchSize),
 		"paper":    strconv.FormatBool(norm.PaperScale),
 		"eager":    strconv.FormatBool(norm.Eager),
-		"seed":     strconv.FormatInt(norm.Seed, 10),
+	}
+	if includeSeed {
+		m["seed"] = strconv.FormatInt(norm.Seed, 10)
 	}
 	// Precision changes results (numerics in eager mode, modeled kernel
 	// costs in analytic mode), so non-trivial policies key the cache by
@@ -127,7 +198,7 @@ func (cfg RunConfig) cacheKey() string {
 		// them a unique key so the error is not cached under f32.
 		m["precision"] = "invalid:" + norm.Precision
 	}
-	return resultcache.Key(m)
+	return m
 }
 
 // defaultRunner backs the package-level cached entry point.

@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"mmbench/internal/faultinject"
 	"mmbench/internal/serve"
 )
 
@@ -27,6 +28,12 @@ func cmdServe(args []string) error {
 	precPolicy := precisionFlag(fs)
 	pprofFlag := fs.Bool("pprof", false,
 		"mount net/http/pprof under /debug/pprof/ (CPU/heap/goroutine profiles; off by default)")
+	deadline := fs.Duration("deadline", 0,
+		"default completion deadline for /v1/run requests (0 = none); clients may lower it per request via X-Deadline-Ms, never raise it")
+	quarThreshold := fs.Int("quarantine-threshold", 3,
+		"panics per workload-config fingerprint before the config is quarantined (422)")
+	faults := fs.String("faults", "",
+		"fault-injection plan, e.g. 'engine.chunk=panic/every=100,jobs.admit=fail/every=10' (testing only; also settable via MMBENCH_FAULTS)")
 	writeTimeout := fs.Duration("write-timeout", 5*time.Minute,
 		"HTTP write deadline per request; must cover the longest synchronous /v1/run (long eager runs should go through /v1/sweep jobs instead)")
 	if err := fs.Parse(args); err != nil {
@@ -43,11 +50,20 @@ func cmdServe(args []string) error {
 	// branches when -branch-parallel is on).
 	configureCompute(*computeWorkers, *workers)
 
+	if *faults != "" {
+		if err := faultinject.Configure(*faults); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mmbench: FAULT INJECTION ENABLED: %s\n", *faults)
+	}
+
 	s := serve.New(serve.Options{
-		Workers:          *workers,
-		CacheBytes:       int64(*cacheMB) << 20,
-		DefaultPrecision: *precPolicy,
-		Pprof:            *pprofFlag,
+		Workers:             *workers,
+		CacheBytes:          int64(*cacheMB) << 20,
+		DefaultPrecision:    *precPolicy,
+		Pprof:               *pprofFlag,
+		DefaultDeadline:     *deadline,
+		QuarantineThreshold: *quarThreshold,
 	})
 	// Slow or stalled clients must not pin handler goroutines forever:
 	// bound header/body reads and idle keep-alives tightly. The write

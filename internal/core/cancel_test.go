@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mmbench/internal/engine"
+	"mmbench/internal/faultinject"
+)
+
+// TestRunCtxCancelledBeforeStart: a context cancelled before the run
+// begins aborts at the first stage-boundary checkpoint with ctx.Err().
+func TestRunCancelledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := BuildAndRun("avmnist", "concat", false, RunOptions{
+		Eager: true, BatchSize: 4, Ctx: ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+}
+
+func TestRunExpiredDeadlineAborts(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := BuildAndRun("avmnist", "concat", false, RunOptions{
+		Eager: true, BatchSize: 4, Ctx: ctx,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunMidRunCancellationStopsObserverSpans cancels from inside the
+// engine's task observer — deterministically mid-forward — and asserts
+// the run aborts with the context error while the observed span stream
+// cuts off instead of running the workload to completion.
+func TestRunMidRunCancellationStopsObserverSpans(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Slow every 4th chunk so the chunks in flight when cancel() fires
+	// cover the watcher goroutine's wake-up latency: the flag is
+	// guaranteed to be signalled while the forward still has work left.
+	if err := faultinject.Configure("engine.chunk=delay:1ms/every=4"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Configure("")
+
+	var spans atomic.Int64
+	engine.SetTaskObserver(func(id int64, w int, s, e time.Time) {
+		if spans.Add(1) == 3 {
+			cancel()
+		}
+	})
+	defer engine.SetTaskObserver(nil)
+
+	e := engine.New(4)
+	defer e.Close()
+	_, err := BuildAndRun("avmnist", "concat", false, RunOptions{
+		Eager: true, BatchSize: 16, Engine: e, Ctx: ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	// A full eager forward at 4 workers observes far more worker chunks
+	// than this; the cutoff proves the engine stopped dispatching.
+	after := spans.Load()
+	time.Sleep(20 * time.Millisecond)
+	if late := spans.Load(); late > after+4 {
+		t.Fatalf("observer saw %d spans after the abort returned (was %d): engine kept dispatching", late, after)
+	}
+}
+
+// TestRunUncancelledContextBitwiseIdentical: carrying a live (never
+// cancelled) cancellation flag must not perturb results — reports and
+// eager outputs are byte-identical to a context-free run, at several
+// worker counts.
+func TestRunUncancelledContextBitwiseIdentical(t *testing.T) {
+	ref, err := BuildAndRun("avmnist", "concat", false, RunOptions{
+		Eager: true, BatchSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut := append([]float32(nil), ref.Output.Value.Data()...)
+	refTrace, err := json.Marshal(ref.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		ctx, cancel := context.WithCancel(context.Background())
+		e := engine.New(workers)
+		res, err := BuildAndRun("avmnist", "concat", false, RunOptions{
+			Eager: true, BatchSize: 4, Engine: e, Ctx: ctx,
+		})
+		cancel()
+		e.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := res.Output.Value.Data()
+		if len(out) != len(refOut) {
+			t.Fatalf("workers=%d: output length %d vs %d", workers, len(out), len(refOut))
+		}
+		for i := range out {
+			if out[i] != refOut[i] {
+				t.Fatalf("workers=%d: output[%d] = %x, want %x (bitwise)", workers, i, out[i], refOut[i])
+			}
+		}
+		tr, err := json.Marshal(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(tr) != string(refTrace) {
+			t.Fatalf("workers=%d: trace diverged from context-free run", workers)
+		}
+	}
+}

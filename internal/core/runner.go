@@ -4,6 +4,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"math"
@@ -57,6 +58,13 @@ type RunOptions struct {
 	// bitwise identical, so it never participates in cache keys) and is
 	// ignored on analytic runs, which execute no kernels to time.
 	Profiler *obs.Profiler
+	// Ctx, when non-nil and cancellable, makes the run cooperative: its
+	// cancellation (or deadline) stops the engine's chunk dispatch within
+	// one chunk boundary and aborts the run at the next stage-boundary
+	// checkpoint, returning ctx.Err(). Uncancelled runs stay bitwise
+	// identical to runs with no context (the flag costs one atomic load
+	// per chunk claim and per checkpoint).
+	Ctx context.Context
 }
 
 func (o *RunOptions) defaults() {
@@ -99,10 +107,48 @@ type RunResult struct {
 // preprocessing per modality, host→device transfers, the three network
 // stages in per-modality streams with a fusion join, and the final
 // device→host copy.
-func Run(n *mmnet.Network, opts RunOptions) (*RunResult, error) {
+func Run(n *mmnet.Network, opts RunOptions) (res *RunResult, err error) {
 	opts.defaults()
 	if err := n.Validate(); err != nil {
 		return nil, err
+	}
+
+	// Cancellable runs derive a per-run engine handle carrying a Cancel
+	// flag; a watcher goroutine translates context cancellation into one
+	// flag signal. The recover below classifies checkpoint aborts
+	// (engine.AbortReason) back into ordinary errors — any other panic
+	// re-raises untouched.
+	var cancelFlag *engine.Cancel
+	if ctx := opts.Ctx; ctx != nil && ctx.Done() != nil {
+		// An already-dead context never starts the run; relying on the
+		// watcher goroutine for this would race the forward on fast runs.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cancelFlag = engine.NewCancel()
+		eng := opts.Engine
+		if eng == nil {
+			eng = engine.Default()
+		}
+		opts.Engine = eng.WithCancel(cancelFlag)
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				cancelFlag.Signal(ctx.Err())
+			case <-stop:
+			}
+		}()
+		defer func() {
+			if r := recover(); r != nil {
+				reason, ok := engine.AbortReason(r)
+				if !ok {
+					panic(r)
+				}
+				res, err = nil, reason
+			}
+		}()
 	}
 
 	builder := trace.NewBuilder(opts.Device, n.Modalities)
@@ -164,6 +210,13 @@ func Run(n *mmnet.Network, opts RunOptions) (*RunResult, error) {
 			SequentialBranches: opts.SequentialBranches,
 		}, batch)
 		errMax, errMean = outputError(out, ref)
+	}
+
+	// Final abort checkpoint: a cancellation that fired after the last
+	// stage boundary left garbage in the outputs (skipped chunks), so the
+	// run must not be reported as a result.
+	if cancelFlag.Cancelled() {
+		return nil, cancelFlag.Reason()
 	}
 
 	// Results return to the host.

@@ -53,7 +53,6 @@ var branchEngines struct {
 func ForBranches(parent *Engine, branches int) []*Engine {
 	w := BranchWorkers(parent.Workers(), branches)
 	branchEngines.mu.Lock()
-	defer branchEngines.mu.Unlock()
 	if branchEngines.byWidth == nil {
 		branchEngines.byWidth = make(map[int][]*Engine)
 	}
@@ -74,7 +73,20 @@ func ForBranches(parent *Engine, branches int) []*Engine {
 			}
 		}
 	}
-	return list[:branches:branches]
+	list = list[:branches:branches]
+	branchEngines.mu.Unlock()
+	// Branch engines inherit the parent handle's cancellation flag, so a
+	// cancelled run stops its branch kernels at the same chunk-boundary
+	// contract as its main-engine kernels. The cached engines themselves
+	// stay flag-free; only the returned handles carry it.
+	if parent.CancelFlag() != nil {
+		wrapped := make([]*Engine, branches)
+		for i, e := range list {
+			wrapped[i] = e.WithCancel(parent.CancelFlag())
+		}
+		return wrapped
+	}
+	return list
 }
 
 // BranchEngineStats sums the counters of every cached branch sub-engine
@@ -98,6 +110,7 @@ func BranchEngineStats() Stats {
 			total.PoolHits += s.PoolHits
 			total.PoolMisses += s.PoolMisses
 			total.BytesReused += s.BytesReused
+			total.PoolOutstanding += s.PoolOutstanding
 		}
 	}
 	return total
@@ -116,5 +129,6 @@ func TotalStats() Stats {
 	s.PoolHits += b.PoolHits
 	s.PoolMisses += b.PoolMisses
 	s.BytesReused += b.BytesReused
+	s.PoolOutstanding += b.PoolOutstanding
 	return s
 }

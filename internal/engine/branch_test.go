@@ -122,9 +122,9 @@ func TestForBranchesSplitsPoolBudget(t *testing.T) {
 	var budgetSum int64
 	for _, l := range branchEngines.byWidth {
 		for _, e := range l {
-			e.pool.mu.Lock()
-			budgetSum += e.pool.budget
-			e.pool.mu.Unlock()
+			e.st.pool.mu.Lock()
+			budgetSum += e.st.pool.budget
+			e.st.pool.mu.Unlock()
 		}
 	}
 	branchEngines.mu.Unlock()
@@ -143,16 +143,16 @@ func TestForBranchesSplitsPoolBudget(t *testing.T) {
 	a, b := e.Get(minBucket), e.Get(minBucket)
 	e.Put(a)
 	e.Put(b) // over budget: must be dropped, not retained
-	e.pool.mu.Lock()
-	retained := e.pool.retained
-	e.pool.mu.Unlock()
+	e.st.pool.mu.Lock()
+	retained := e.st.pool.retained
+	e.st.pool.mu.Unlock()
 	if retained > int64(minBucket)*4 {
 		t.Fatalf("retained %d bytes over the %d budget", retained, minBucket*4)
 	}
 	e.setPoolBudget(0) // evicts everything
-	e.pool.mu.Lock()
-	retained = e.pool.retained
-	e.pool.mu.Unlock()
+	e.st.pool.mu.Lock()
+	retained = e.st.pool.retained
+	e.st.pool.mu.Unlock()
 	if retained != 0 {
 		t.Fatalf("retained %d bytes after zero-budget eviction", retained)
 	}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Cancel is a cooperative, one-shot cancellation flag shared by every
+// engine handle of one run. Signalling it makes in-flight ParallelFor
+// invocations stop claiming chunks at the next chunk boundary and later
+// invocations return immediately; the run itself aborts at its next
+// CheckAbort checkpoint (stage boundaries in ops, the runner's own
+// checks), where the flag's reason surfaces as an ordinary error.
+//
+// All methods are nil-safe: a nil *Cancel is the never-cancelled flag,
+// so hot paths can poll it unconditionally.
+type Cancel struct {
+	set atomic.Bool
+
+	mu     sync.Mutex
+	reason error
+}
+
+// ErrCancelled is the fallback abort reason when Signal was called with
+// a nil error.
+var ErrCancelled = errors.New("engine: run cancelled")
+
+// NewCancel returns a fresh, unsignalled flag.
+func NewCancel() *Cancel { return &Cancel{} }
+
+// Signal marks the flag cancelled with the given reason. The first
+// reason wins; later calls are no-ops.
+func (c *Cancel) Signal(reason error) {
+	if c == nil {
+		return
+	}
+	if reason == nil {
+		reason = ErrCancelled
+	}
+	c.mu.Lock()
+	if c.reason == nil {
+		c.reason = reason
+	}
+	c.mu.Unlock()
+	c.set.Store(true)
+}
+
+// Cancelled reports whether the flag has been signalled. One atomic
+// load; nil receivers report false.
+func (c *Cancel) Cancelled() bool {
+	return c != nil && c.set.Load()
+}
+
+// Reason returns the first Signal's error, or nil while unsignalled.
+func (c *Cancel) Reason() error {
+	if c == nil || !c.set.Load() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reason
+}
+
+// abortPanic is the payload CheckAbort raises. It is unexported so only
+// AbortReason can classify it — arbitrary panics never masquerade as
+// clean aborts.
+type abortPanic struct{ reason error }
+
+// CheckAbort panics with the cancellation reason when the flag is
+// signalled. Call sites are the run's abort checkpoints: they must hold
+// no pooled buffers, so unwinding to the runner's recover leaks nothing.
+func (c *Cancel) CheckAbort() {
+	if c.Cancelled() {
+		panic(abortPanic{reason: c.Reason()})
+	}
+}
+
+// AbortReason classifies a recovered panic value: it returns the
+// cancellation reason and true when the panic came from CheckAbort, and
+// (nil, false) for every other panic (which the caller must re-raise).
+func AbortReason(r any) (error, bool) {
+	if a, ok := r.(abortPanic); ok {
+		return a.reason, true
+	}
+	return nil, false
+}

@@ -11,6 +11,17 @@
 // inside each chunk, so results are bitwise identical at 1, 4 or 16
 // workers, and identical to a serial run. gradcheck, trace emission and
 // the result cache's canonical keys all rely on this.
+//
+// Cancellation contract: an Engine value is a cheap handle around the
+// shared worker/pool state, and WithCancel derives a handle that carries
+// a per-run Cancel flag. Once the flag is signalled, ParallelFor stops
+// claiming chunks at the next chunk boundary and every later invocation
+// through the same handle returns immediately without running its body —
+// the run's outputs are garbage from that point on and the caller is
+// expected to abort at its next checkpoint (see Cancel.CheckAbort).
+// Uncancelled runs never observe the flag beyond one atomic load per
+// chunk claim, so chunk boundaries, claim order and results are
+// unchanged.
 package engine
 
 import (
@@ -18,12 +29,24 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mmbench/internal/faultinject"
 )
 
-// Engine executes data-parallel loops on a persistent worker pool.
-// The zero value is not usable; call New. A nil *Engine is valid and
-// runs everything serially (no pool, no workers).
+// Engine executes data-parallel loops on a persistent worker pool. It is
+// a handle: the zero value is not usable (call New), a nil *Engine is
+// valid and runs everything serially (no pool, no workers), and
+// WithCancel derives handles that share the same workers, buffer pool
+// and counters while carrying a per-run cancellation flag.
 type Engine struct {
+	st     *state
+	cancel *Cancel
+}
+
+// state is the shared, process-lived part of an engine: the worker pool,
+// the buffer pool and the activity counters. Every handle derived from
+// one New call points at the same state.
+type state struct {
 	workers   int
 	jobs      chan *job
 	closeOnce sync.Once
@@ -50,6 +73,10 @@ type job struct {
 	next     atomic.Int64
 	fn       func(lo, hi int)
 	wg       sync.WaitGroup
+	// cancel, when non-nil, is polled once per chunk claim: a signalled
+	// flag makes the remaining chunks no-ops, so a cancelled run stops
+	// consuming workers within one chunk boundary.
+	cancel *Cancel
 
 	panicMu  sync.Mutex
 	panicVal any
@@ -62,30 +89,64 @@ func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{workers: workers, id: engineSeq.Add(1)}
-	e.pool.init()
+	st := &state{workers: workers, id: engineSeq.Add(1)}
+	st.pool.init()
 	if workers > 1 {
 		// Buffered so ParallelFor's wake-up sends never block even when
 		// every worker is busy; stale pointers drain as no-ops.
-		e.jobs = make(chan *job, 4*workers)
+		st.jobs = make(chan *job, 4*workers)
 		for i := 0; i < workers-1; i++ {
-			go e.workerLoop(i)
+			go st.workerLoop(i)
 		}
 	}
-	return e
+	return &Engine{st: st}
+}
+
+// WithCancel derives a handle that shares this engine's workers, buffer
+// pool and counters but observes the given per-run cancellation flag in
+// every ParallelFor. A nil flag returns the receiver unchanged; a nil
+// receiver stays valid (serial execution that observes the flag).
+func (e *Engine) WithCancel(c *Cancel) *Engine {
+	if c == nil {
+		return e
+	}
+	var st *state
+	if e != nil {
+		st = e.st
+	}
+	return &Engine{st: st, cancel: c}
+}
+
+// CancelFlag returns the handle's cancellation flag (nil on handles that
+// never cancel — the nil-safe Cancel methods make that case free to
+// check).
+func (e *Engine) CancelFlag() *Cancel {
+	if e == nil {
+		return nil
+	}
+	return e.cancel
 }
 
 // Workers returns the configured worker count.
 func (e *Engine) Workers() int {
-	if e == nil {
+	if e == nil || e.st == nil {
 		return 1
 	}
-	return e.workers
+	return e.st.workers
 }
 
-func (e *Engine) workerLoop(worker int) {
-	for j := range e.jobs {
-		e.drainWorker(j, worker)
+// ID returns the engine's process-unique id (0 for nil handles), stable
+// across every handle derived from one New call.
+func (e *Engine) ID() int64 {
+	if e == nil || e.st == nil {
+		return 0
+	}
+	return e.st.id
+}
+
+func (st *state) workerLoop(worker int) {
+	for j := range st.jobs {
+		st.drainWorker(j, worker)
 	}
 }
 
@@ -94,10 +155,12 @@ func (e *Engine) workerLoop(worker int) {
 // and reported with the engine's id and the worker's index. Chunks the
 // submitting goroutine executes itself are not reported separately —
 // that time is already inside the kernel span on the submitter's track.
-func (e *Engine) drainWorker(j *job, worker int) {
+// Chunks skipped because the job's run was cancelled are not reported:
+// the observer sees the span stream cut off at the cancellation point.
+func (st *state) drainWorker(j *job, worker int) {
 	obs := loadTaskObserver()
 	if obs == nil {
-		e.drain(j)
+		st.drain(j)
 		return
 	}
 	for {
@@ -106,8 +169,9 @@ func (e *Engine) drainWorker(j *job, worker int) {
 			return
 		}
 		start := time.Now()
-		e.runChunk(j, int(i))
-		obs(e.id, worker, start, time.Now())
+		if st.runChunk(j, int(i)) {
+			obs(st.id, worker, start, time.Now())
+		}
 	}
 }
 
@@ -115,8 +179,8 @@ func (e *Engine) drainWorker(j *job, worker int) {
 // engines in tests; the default engine lives for the process. Close must
 // not race with ParallelFor on the same engine.
 func (e *Engine) Close() {
-	if e != nil && e.jobs != nil {
-		e.closeOnce.Do(func() { close(e.jobs) })
+	if e != nil && e.st != nil && e.st.jobs != nil {
+		e.st.closeOnce.Do(func() { close(e.st.jobs) })
 	}
 }
 
@@ -125,38 +189,48 @@ func (e *Engine) Close() {
 // always participates, so the call completes even if every worker is
 // busy (nested ParallelFor is safe). fn must write only to regions
 // disjoint per chunk. Panics inside fn are re-raised on the caller.
+//
+// On a handle whose Cancel flag is signalled, ParallelFor returns
+// without running fn (already-running invocations stop claiming chunks
+// at the next boundary). The caller's outputs are garbage from then on;
+// the run must abort at its next Cancel.CheckAbort checkpoint.
 func (e *Engine) ParallelFor(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
+		return
+	}
+	if e != nil && e.cancel.Cancelled() {
 		return
 	}
 	if grain < 1 {
 		grain = 1
 	}
 	chunks := (n + grain - 1) / grain
-	if e == nil || e.workers <= 1 || chunks == 1 {
-		if e != nil {
-			e.calls.Add(1)
-			e.tasks.Add(1)
+	if e == nil || e.st == nil || e.st.workers <= 1 || chunks == 1 {
+		if e != nil && e.st != nil {
+			e.st.calls.Add(1)
+			e.st.tasks.Add(1)
 		}
+		faultinject.Hit(faultinject.SiteEngineChunk)
 		fn(0, n)
 		return
 	}
-	e.calls.Add(1)
-	j := &job{n: n, grain: grain, chunks: int64(chunks), fn: fn}
+	st := e.st
+	st.calls.Add(1)
+	j := &job{n: n, grain: grain, chunks: int64(chunks), fn: fn, cancel: e.cancel}
 	j.wg.Add(chunks)
 	// Wake up to chunks-1 helpers; the caller claims chunks too.
 	wake := chunks - 1
-	if wake > e.workers-1 {
-		wake = e.workers - 1
+	if wake > st.workers-1 {
+		wake = st.workers - 1
 	}
 	for i := 0; i < wake; i++ {
 		select {
-		case e.jobs <- j:
+		case st.jobs <- j:
 		default:
 			i = wake // queue full: enough wake-ups are already pending
 		}
 	}
-	e.drain(j)
+	st.drain(j)
 	j.wg.Wait()
 	if j.panicVal != nil {
 		panic(j.panicVal)
@@ -164,18 +238,23 @@ func (e *Engine) ParallelFor(n, grain int, fn func(lo, hi int)) {
 }
 
 // drain claims and runs chunks until the job is exhausted.
-func (e *Engine) drain(j *job) {
+func (st *state) drain(j *job) {
 	for {
 		i := j.next.Add(1) - 1
 		if i >= j.chunks {
 			return
 		}
-		e.runChunk(j, int(i))
+		st.runChunk(j, int(i))
 	}
 }
 
-func (e *Engine) runChunk(j *job, i int) {
+// runChunk executes one claimed chunk and reports whether the body ran
+// (false when the job's run was cancelled before this chunk started).
+func (st *state) runChunk(j *job, i int) (executed bool) {
 	defer j.wg.Done()
+	if j.cancel.Cancelled() {
+		return false
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			// Keep the original panic value (type intact for callers'
@@ -193,8 +272,10 @@ func (e *Engine) runChunk(j *job, i int) {
 	if hi > j.n {
 		hi = j.n
 	}
+	faultinject.Hit(faultinject.SiteEngineChunk)
 	j.fn(lo, hi)
-	e.tasks.Add(1)
+	st.tasks.Add(1)
+	return true
 }
 
 // Stats is a snapshot of engine activity.
@@ -206,6 +287,11 @@ type Stats struct {
 	PoolHits    int64 `json:"pool_hits"`
 	PoolMisses  int64 `json:"pool_misses"`
 	BytesReused int64 `json:"bytes_reused"`
+	// PoolOutstanding is the number of pool-range buffers currently
+	// checked out and not yet returned. A quiescent engine must read 0;
+	// anything else is a leak (the chaos suite asserts this under fault
+	// injection).
+	PoolOutstanding int64 `json:"pool_outstanding"`
 }
 
 // HitRate returns the pool hit fraction (0 when idle).
@@ -219,16 +305,18 @@ func (s Stats) HitRate() float64 {
 
 // Stats snapshots the engine's counters.
 func (e *Engine) Stats() Stats {
-	if e == nil {
+	if e == nil || e.st == nil {
 		return Stats{Workers: 1}
 	}
+	st := e.st
 	return Stats{
-		Workers:     e.workers,
-		Calls:       e.calls.Load(),
-		Tasks:       e.tasks.Load(),
-		PoolHits:    e.pool.hits.Load(),
-		PoolMisses:  e.pool.misses.Load(),
-		BytesReused: e.pool.bytesReused.Load(),
+		Workers:         st.workers,
+		Calls:           st.calls.Load(),
+		Tasks:           st.tasks.Load(),
+		PoolHits:        st.pool.hits.Load(),
+		PoolMisses:      st.pool.misses.Load(),
+		BytesReused:     st.pool.bytesReused.Load(),
+		PoolOutstanding: st.pool.outstanding.Load(),
 	}
 }
 

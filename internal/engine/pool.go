@@ -41,6 +41,11 @@ type bufPool struct {
 	hits        atomic.Int64
 	misses      atomic.Int64
 	bytesReused atomic.Int64
+	// outstanding counts checked-out pool-range buffers not yet
+	// returned (bypass buffers beyond maxBucket are excluded on both
+	// sides). A quiescent engine must read 0 — the leak invariant the
+	// chaos suite asserts under fault injection.
+	outstanding atomic.Int64
 }
 
 func (p *bufPool) init() { p.budget = maxPoolBytes }
@@ -48,7 +53,7 @@ func (p *bufPool) init() { p.budget = maxPoolBytes }
 // setBudget bounds the pool's idle retention, evicting the newest
 // retained buffers (largest buckets first) until under the new budget.
 func (e *Engine) setPoolBudget(budget int64) {
-	p := &e.pool
+	p := &e.st.pool
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.budget = budget
@@ -122,41 +127,45 @@ func (e *Engine) GetUninit(n int) []float32 {
 // activity counters (the GEMM pack-panel stats) use it to report hit
 // rates without re-deriving them from global pool deltas.
 func (e *Engine) GetUninitInfo(n int) ([]float32, bool) {
-	if e == nil {
+	if e == nil || e.st == nil {
 		return make([]float32, n), false
 	}
+	pool := &e.st.pool
 	b := bucketSize(n)
 	if b < 0 {
-		e.pool.misses.Add(1)
+		pool.misses.Add(1)
 		return make([]float32, n), false
 	}
-	e.pool.mu.Lock()
+	pool.outstanding.Add(1)
+	pool.mu.Lock()
 	idx := bucketIndex(b)
-	list := e.pool.buckets[idx]
+	list := pool.buckets[idx]
 	if len(list) == 0 {
-		e.pool.mu.Unlock()
-		e.pool.misses.Add(1)
+		pool.mu.Unlock()
+		pool.misses.Add(1)
 		return make([]float32, b)[:n], false
 	}
 	buf := list[len(list)-1]
-	e.pool.buckets[idx] = list[:len(list)-1]
-	e.pool.retained -= int64(cap(buf)) * 4
-	e.pool.mu.Unlock()
-	e.pool.hits.Add(1)
-	e.pool.bytesReused.Add(int64(n) * 4)
+	pool.buckets[idx] = list[:len(list)-1]
+	pool.retained -= int64(cap(buf)) * 4
+	pool.mu.Unlock()
+	pool.hits.Add(1)
+	pool.bytesReused.Add(int64(n) * 4)
 	return buf[:n], true
 }
 
 // Put returns a buffer obtained from Get to the pool. Putting foreign
 // slices is a silent no-op (their capacity is not a bucket size).
 func (e *Engine) Put(buf []float32) {
-	if e == nil || buf == nil {
+	if e == nil || e.st == nil || buf == nil {
 		return
 	}
+	pool := &e.st.pool
 	idx := bucketIndex(cap(buf))
 	if idx < 0 {
 		return
 	}
+	pool.outstanding.Add(-1)
 	buf = buf[:cap(buf)]
 	if debugPoison.Load() {
 		nan := float32(math.NaN())
@@ -164,11 +173,11 @@ func (e *Engine) Put(buf []float32) {
 			buf[i] = nan
 		}
 	}
-	e.pool.mu.Lock()
-	if len(e.pool.buckets[idx]) < maxPerBucket &&
-		e.pool.retained+int64(cap(buf))*4 <= e.pool.budget {
-		e.pool.buckets[idx] = append(e.pool.buckets[idx], buf)
-		e.pool.retained += int64(cap(buf)) * 4
+	pool.mu.Lock()
+	if len(pool.buckets[idx]) < maxPerBucket &&
+		pool.retained+int64(cap(buf))*4 <= pool.budget {
+		pool.buckets[idx] = append(pool.buckets[idx], buf)
+		pool.retained += int64(cap(buf)) * 4
 	}
-	e.pool.mu.Unlock()
+	pool.mu.Unlock()
 }

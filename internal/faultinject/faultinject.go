@@ -1,0 +1,238 @@
+// Package faultinject is a process-wide fault-injection harness for the
+// overload-resilience chaos suite: named sites in the engine and the job
+// scheduler poll it, and an injection plan makes those sites panic,
+// stall or fail on a deterministic schedule. It exists to prove the
+// serving stack degrades instead of collapsing — kernels panic without
+// killing workers, stalled queues shed load, pooled buffers never leak.
+//
+// The harness is env/flag-gated and zero-cost when disabled: every site
+// check is a single atomic load that fails fast, no locks, no map
+// lookups. Plans are configured once (Configure, or the MMBENCH_FAULTS
+// environment variable at init) and are deterministic — each rule fires
+// on every Nth hit of its site, never on randomness or wall time — so a
+// chaos test's fault schedule is reproducible.
+//
+// Plan syntax: comma-separated rules, each
+//
+//	<site>=<action>[:<arg>][/every=<n>]
+//
+// Actions: "panic" (the site panics with an Injected value), "delay:<d>"
+// (the site sleeps for the Go duration <d>), "fail" (the site reports an
+// injectable error condition — e.g. the scheduler pretends its queue is
+// full). every=N fires the rule on hits N, 2N, 3N, … of that site
+// (default 1: every hit).
+//
+// Example:
+//
+//	MMBENCH_FAULTS='engine.chunk=panic/every=97,jobs.admit=fail/every=3,jobs.dequeue=delay:2ms/every=5'
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Site names an injection point. Sites are compiled into the production
+// code; plans reference them by name.
+type Site string
+
+const (
+	// SiteEngineChunk fires inside the compute engine immediately before
+	// a ParallelFor chunk body runs: "panic" simulates a kernel panic on
+	// a worker, "delay" a chunk slowdown (straggler).
+	SiteEngineChunk Site = "engine.chunk"
+	// SiteJobsAdmit fires in the scheduler's admission path: "fail"
+	// simulates pool exhaustion (the queue reports full), "delay" a slow
+	// admission.
+	SiteJobsAdmit Site = "jobs.admit"
+	// SiteJobsDequeue fires when a worker picks a job off the queue:
+	// "delay" simulates a queue stall (workers wedged behind a slow
+	// dequeue).
+	SiteJobsDequeue Site = "jobs.dequeue"
+	// SiteRunner fires at the start of every benchmark run execution:
+	// "panic" simulates a workload whose kernels reliably crash —
+	// the quarantine path's trigger.
+	SiteRunner Site = "runner.run"
+)
+
+// Sites lists every compiled-in injection site.
+func Sites() []Site {
+	return []Site{SiteEngineChunk, SiteJobsAdmit, SiteJobsDequeue, SiteRunner}
+}
+
+// Injected is the panic payload of a "panic" rule, so recover handlers
+// (and quarantine summaries) can name the injection instead of showing
+// an anonymous crash.
+type Injected struct{ Site Site }
+
+func (i Injected) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s", i.Site)
+}
+
+type rule struct {
+	action string // "panic", "delay" or "fail"
+	delay  time.Duration
+	every  int64
+	hits   atomic.Int64
+	fired  atomic.Int64
+}
+
+// due claims one hit and reports whether the rule fires on it.
+func (r *rule) due() bool {
+	if r == nil {
+		return false
+	}
+	n := r.hits.Add(1)
+	if n%r.every != 0 {
+		return false
+	}
+	r.fired.Add(1)
+	return true
+}
+
+var (
+	// enabled is the fast-path gate: false means every Hit/Fail returns
+	// after one atomic load, with the rule table untouched.
+	enabled atomic.Bool
+
+	mu    sync.Mutex
+	rules map[Site]*rule
+)
+
+func init() {
+	if plan := os.Getenv("MMBENCH_FAULTS"); plan != "" {
+		if err := Configure(plan); err != nil {
+			fmt.Fprintf(os.Stderr, "mmbench: ignoring MMBENCH_FAULTS: %v\n", err)
+		}
+	}
+}
+
+// Configure installs an injection plan (see the package comment for the
+// syntax), replacing any previous plan. An empty plan disables injection
+// and restores the zero-cost path.
+func Configure(plan string) error {
+	plan = strings.TrimSpace(plan)
+	if plan == "" {
+		mu.Lock()
+		rules = nil
+		mu.Unlock()
+		enabled.Store(false)
+		return nil
+	}
+	parsed := make(map[Site]*rule)
+	known := make(map[Site]bool)
+	for _, s := range Sites() {
+		known[s] = true
+	}
+	for _, part := range strings.Split(plan, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, spec, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("faultinject: rule %q: want <site>=<action>[:<arg>][/every=<n>]", part)
+		}
+		if !known[Site(site)] {
+			return fmt.Errorf("faultinject: unknown site %q (have %v)", site, Sites())
+		}
+		r := &rule{every: 1}
+		action, rest, hasEvery := strings.Cut(spec, "/")
+		if hasEvery {
+			evKey, evVal, ok := strings.Cut(rest, "=")
+			if !ok || evKey != "every" {
+				return fmt.Errorf("faultinject: rule %q: want /every=<n>", part)
+			}
+			n, err := strconv.ParseInt(evVal, 10, 64)
+			if err != nil || n < 1 {
+				return fmt.Errorf("faultinject: rule %q: bad every %q", part, evVal)
+			}
+			r.every = n
+		}
+		name, arg, _ := strings.Cut(action, ":")
+		switch name {
+		case "panic", "fail":
+			if arg != "" {
+				return fmt.Errorf("faultinject: rule %q: %s takes no argument", part, name)
+			}
+			r.action = name
+		case "delay":
+			d, err := time.ParseDuration(arg)
+			if err != nil || d < 0 {
+				return fmt.Errorf("faultinject: rule %q: bad delay %q", part, arg)
+			}
+			r.action = "delay"
+			r.delay = d
+		default:
+			return fmt.Errorf("faultinject: rule %q: unknown action %q", part, name)
+		}
+		parsed[Site(site)] = r
+	}
+	mu.Lock()
+	rules = parsed
+	mu.Unlock()
+	enabled.Store(true)
+	return nil
+}
+
+// Enabled reports whether a plan is installed.
+func Enabled() bool { return enabled.Load() }
+
+// lookup returns the site's rule under the enabled fast path.
+func lookup(site Site) *rule {
+	mu.Lock()
+	r := rules[site]
+	mu.Unlock()
+	return r
+}
+
+// Hit fires side-effect faults at a site: a "panic" rule panics with an
+// Injected value, a "delay" rule sleeps. Disabled: one atomic load.
+func Hit(site Site) {
+	if !enabled.Load() {
+		return
+	}
+	r := lookup(site)
+	if r == nil || !r.due() {
+		return
+	}
+	switch r.action {
+	case "panic":
+		panic(Injected{Site: site})
+	case "delay":
+		time.Sleep(r.delay)
+	}
+}
+
+// Fail reports whether an error-typed fault fires at a site (a "fail"
+// rule on its schedule). Callers translate true into their natural
+// error — the scheduler reports its queue full. Disabled: one atomic
+// load, always false.
+func Fail(site Site) bool {
+	if !enabled.Load() {
+		return false
+	}
+	r := lookup(site)
+	if r == nil || r.action != "fail" {
+		return false
+	}
+	return r.due()
+}
+
+// Fired returns how many times the site's rule has fired (0 when the
+// site has no rule) — the chaos suite's handle on whether a plan
+// actually exercised its faults.
+func Fired(site Site) int64 {
+	mu.Lock()
+	r := rules[site]
+	mu.Unlock()
+	if r == nil {
+		return 0
+	}
+	return r.fired.Load()
+}

@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func reset(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		if err := Configure(""); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDisabledIsInert(t *testing.T) {
+	reset(t)
+	if Enabled() {
+		t.Fatal("enabled with no plan")
+	}
+	Hit(SiteEngineChunk) // must not panic
+	if Fail(SiteJobsAdmit) {
+		t.Fatal("Fail fired with no plan")
+	}
+	if Fired(SiteEngineChunk) != 0 {
+		t.Fatal("fired count nonzero with no plan")
+	}
+}
+
+func TestPanicEverySchedule(t *testing.T) {
+	reset(t)
+	if err := Configure("engine.chunk=panic/every=3"); err != nil {
+		t.Fatal(err)
+	}
+	panics := 0
+	for i := 1; i <= 9; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					inj, ok := r.(Injected)
+					if !ok {
+						t.Fatalf("panic value %T, want Injected", r)
+					}
+					if inj.Site != SiteEngineChunk {
+						t.Fatalf("injected site %q, want engine.chunk", inj.Site)
+					}
+					if !strings.Contains(inj.Error(), "engine.chunk") {
+						t.Fatalf("error %q does not name the site", inj.Error())
+					}
+					panics++
+				}
+			}()
+			Hit(SiteEngineChunk)
+		}()
+	}
+	if panics != 3 {
+		t.Fatalf("%d panics over 9 hits at every=3, want exactly 3", panics)
+	}
+	if Fired(SiteEngineChunk) != 3 {
+		t.Fatalf("fired %d, want 3", Fired(SiteEngineChunk))
+	}
+}
+
+func TestFailSchedule(t *testing.T) {
+	reset(t)
+	if err := Configure("jobs.admit=fail/every=2"); err != nil {
+		t.Fatal(err)
+	}
+	got := []bool{}
+	for i := 0; i < 6; i++ {
+		got = append(got, Fail(SiteJobsAdmit))
+	}
+	want := []bool{false, true, false, true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Fail sequence %v, want %v", got, want)
+		}
+	}
+	// A fail rule never makes Hit panic, and vice versa.
+	Hit(SiteJobsAdmit)
+	if Fail(SiteEngineChunk) {
+		t.Fatal("Fail fired at a site with no rule")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	reset(t)
+	if err := Configure("jobs.dequeue=delay:20ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	Hit(SiteJobsDequeue)
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay rule slept %v, want ~20ms", d)
+	}
+}
+
+func TestConfigureRejectsBadPlans(t *testing.T) {
+	reset(t)
+	for _, plan := range []string{
+		"nosuchsite=panic",
+		"engine.chunk",
+		"engine.chunk=explode",
+		"engine.chunk=panic/every=0",
+		"engine.chunk=panic/every=x",
+		"engine.chunk=panic/often=2",
+		"engine.chunk=delay:notaduration",
+		"engine.chunk=panic:arg",
+	} {
+		if err := Configure(plan); err == nil {
+			t.Errorf("plan %q accepted, want error", plan)
+			Configure("")
+		}
+	}
+}
+
+func TestReconfigureReplacesPlan(t *testing.T) {
+	reset(t)
+	if err := Configure("engine.chunk=panic/every=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Configure("jobs.admit=fail/every=1"); err != nil {
+		t.Fatal(err)
+	}
+	Hit(SiteEngineChunk) // old rule gone: must not panic
+	if !Fail(SiteJobsAdmit) {
+		t.Fatal("new rule not active")
+	}
+	if err := Configure(""); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("still enabled after empty plan")
+	}
+}
+
+func TestInjectedIsError(t *testing.T) {
+	var err error = Injected{Site: SiteRunner}
+	var inj Injected
+	if !errors.As(err, &inj) || inj.Site != SiteRunner {
+		t.Fatal("Injected does not round-trip through errors.As")
+	}
+}

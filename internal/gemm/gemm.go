@@ -160,12 +160,12 @@ func F32(e *engine.Engine, dst, a, b []float32, m, k, n int, alpha float32, aT, 
 	}
 	nip, njp := (m+MR-1)/MR, (n+NR-1)/NR
 	ap := panelF32(e, nip*k*MR)
+	defer e.Put(ap)
 	bp := panelF32(e, njp*k*NR)
+	defer e.Put(bp)
 	packAF32(e, ap, a, m, k, aT)
 	packBF32(e, bp, b, k, n, bT)
 	computeF32(e, dst, ap, bp, m, k, n, nip, njp, alpha)
-	e.Put(ap)
-	e.Put(bp)
 }
 
 // computeF32 walks packed f32 panels, one A row panel per work unit.
@@ -193,11 +193,13 @@ func F16(e *engine.Engine, dst, a, b []float32, m, k, n int, alpha float32, aT, 
 	}
 	nip, njp := (m+MR-1)/MR, (n+NR-1)/NR
 	ap := panelF32(e, nip*k*MR)
+	defer e.Put(ap)
 	packAF16(e, ap, a, m, k, aT)
 	if asmF16 {
 		// Half-width B panels: raw float16 bits, converted in-kernel by
 		// vcvtph2ps (exact, so numerically identical to the f32 layout).
 		bp := panelU16(e, njp*k*NR)
+		defer e.PutU16(bp)
 		packBU16(e, bp, b, k, n, bT)
 		e.ParallelFor(nip, 1, func(lo, hi int) {
 			var tile [MR * NR]float32
@@ -209,14 +211,12 @@ func F16(e *engine.Engine, dst, a, b []float32, m, k, n int, alpha float32, aT, 
 				}
 			}
 		})
-		e.PutU16(bp)
 	} else {
 		bp := panelF32(e, njp*k*NR)
+		defer e.Put(bp)
 		packBF16F32(e, bp, b, k, n, bT)
 		computeF32(e, dst, ap, bp, m, k, n, nip, njp, alpha)
-		e.Put(bp)
 	}
-	e.Put(ap)
 }
 
 // I8 computes dst[m,n] += alpha·sa·sb · (Qa·Qb) where Qa, Qb are the
@@ -236,7 +236,9 @@ func I8(e *engine.Engine, dst, a, b []float32, m, k, n int, alpha, sa, sb float3
 	kp := (k + 1) / 2 // int16 pair count; odd K pads a zero level (exact)
 	nip, njp := (m+MR-1)/MR, (n+NR-1)/NR
 	ap := panelI16(e, nip*kp*2*MR)
+	defer e.PutI16(ap)
 	bp := panelI8(e, njp*kp*2*NR)
+	defer e.PutI8(bp)
 	packAI16(e, ap, a, m, k, sa, aT)
 	packBI8(e, bp, b, k, n, sb, bT)
 	deq := alpha * sa * sb
@@ -250,8 +252,6 @@ func I8(e *engine.Engine, dst, a, b []float32, m, k, n int, alpha, sa, sb float3
 			}
 		}
 	})
-	e.PutI16(ap)
-	e.PutI8(bp)
 }
 
 // addTileF32 accumulates the valid region of a full MR×NR tile into dst:

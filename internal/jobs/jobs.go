@@ -10,9 +10,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"mmbench/internal/faultinject"
 	"mmbench/internal/obs"
 )
 
@@ -24,18 +27,61 @@ const (
 	StatusRunning Status = "running"
 	StatusDone    Status = "done"
 	StatusFailed  Status = "failed"
+	// StatusShed marks a job the pool dropped without running it: its
+	// deadline expired in the queue, its context was cancelled, or the
+	// pool began shutting down. Shed jobs carry the shedding error.
+	StatusShed Status = "shed"
 )
 
 var (
 	// ErrQueueFull is returned by Submit when the bounded queue has no
 	// room; callers should retry or shed load.
 	ErrQueueFull = errors.New("jobs: queue full")
-	// ErrShutdown is returned by Submit after Shutdown has begun.
+	// ErrShutdown is returned by Submit after Shutdown has begun, and is
+	// the error queued-but-unstarted jobs are shed with during Shutdown.
 	ErrShutdown = errors.New("jobs: pool shut down")
+	// ErrDeadline is returned by SubmitCtx when the job's deadline has
+	// already passed, and is the error a queued job is shed with when its
+	// deadline expires before a worker picks it up.
+	ErrDeadline = errors.New("jobs: deadline expired before start")
+	// ErrWontFinish is returned by SubmitCtx when the job's estimated
+	// cost does not fit in the time remaining before its deadline —
+	// admission control sheds it instead of wasting a worker on a run
+	// whose client will have given up.
+	ErrWontFinish = errors.New("jobs: estimated cost exceeds time before deadline")
 )
+
+// PanicError is the error a panicking job fails with: the recovered
+// value plus the goroutine stack at the panic site, so operators can
+// diagnose a quarantined workload from the job record alone.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("jobs: job panicked: %v", e.Value)
+}
 
 // Fn is the unit of work: it returns the job's result or an error.
 type Fn func() (any, error)
+
+// CtxFn is a cancellation-aware unit of work: the pool passes the
+// job's context (carrying the submitter's cancellation and the job's
+// deadline) and the job is expected to abandon work when it expires.
+type CtxFn func(ctx context.Context) (any, error)
+
+// SubmitOptions carries SubmitCtx's admission parameters.
+type SubmitOptions struct {
+	// Deadline is the wall-clock completion deadline (zero = none). An
+	// expired deadline sheds the job at admission and again at dequeue;
+	// a pending one bounds the run's context.
+	Deadline time.Time
+	// EstCost is the predicted run duration (0 = unknown). When the
+	// estimate does not fit before Deadline, admission fails with
+	// ErrWontFinish instead of queueing doomed work.
+	EstCost time.Duration
+}
 
 // Job tracks one submitted unit of work. Fields are read through
 // Snapshot; the struct itself is shared with the pool's workers.
@@ -113,14 +159,46 @@ func (j *Job) finish(result any, err error) {
 	close(j.done)
 }
 
+// shed marks the job dropped-without-running with the shedding error.
+func (j *Job) shed(err error) {
+	j.mu.Lock()
+	j.status = StatusShed
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
 type task struct {
 	job *Job
-	fn  Fn
+	fn  CtxFn
+	// ctx is the submitter's context: its cancellation sheds the job at
+	// dequeue and aborts it mid-run.
+	ctx      context.Context
+	deadline time.Time
 }
 
 // Counts summarizes the pool's jobs by state.
 type Counts struct {
-	Queued, Running, Done, Failed int
+	Queued, Running, Done, Failed, Shed int
+}
+
+// Resilience counts the pool's load-shedding and fault-recovery events
+// since start. All fields are monotonic.
+type Resilience struct {
+	// ShedExpired: jobs dropped because their deadline passed before a
+	// worker could start them (at admission or at dequeue).
+	ShedExpired int64 `json:"shed_expired"`
+	// ShedOverload: jobs dropped because the queue was full or their
+	// estimated cost could not fit before their deadline.
+	ShedOverload int64 `json:"shed_overload"`
+	// ShedShutdown: queued jobs dropped by Shutdown's drain.
+	ShedShutdown int64 `json:"shed_shutdown"`
+	// Cancelled: jobs whose context was cancelled — before start (shed)
+	// or mid-run (the run returned a context error).
+	Cancelled int64 `json:"cancelled"`
+	// PanicsRecovered: job panics converted into PanicError failures.
+	PanicsRecovered int64 `json:"panics_recovered"`
 }
 
 // Pool is a fixed-size worker pool with a bounded submission queue.
@@ -144,6 +222,28 @@ type Pool struct {
 	// worker pickup — for every job a worker dequeued.
 	waitMu   sync.Mutex
 	waitHist obs.Histogram
+
+	// draining flips on when Shutdown begins: workers shed every job
+	// still in the queue with ErrShutdown instead of running it, so
+	// shutdown latency is one in-flight job per worker, not the queue.
+	draining atomic.Bool
+
+	shedExpired     atomic.Int64
+	shedOverload    atomic.Int64
+	shedShutdown    atomic.Int64
+	cancelled       atomic.Int64
+	panicsRecovered atomic.Int64
+}
+
+// Resilience snapshots the pool's shed/cancel/panic counters.
+func (p *Pool) Resilience() Resilience {
+	return Resilience{
+		ShedExpired:     p.shedExpired.Load(),
+		ShedOverload:    p.shedOverload.Load(),
+		ShedShutdown:    p.shedShutdown.Load(),
+		Cancelled:       p.cancelled.Load(),
+		PanicsRecovered: p.panicsRecovered.Load(),
+	}
 }
 
 // maxRetained bounds how many finished jobs stay queryable via Get.
@@ -172,6 +272,30 @@ func NewPool(workers, queueCap int) *Pool {
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for t := range p.queue {
+		faultinject.Hit(faultinject.SiteJobsDequeue)
+		// Dequeue-time shedding: jobs that can no longer usefully run are
+		// dropped here, so one stalled queue cannot turn into workers
+		// grinding through work whose clients are gone.
+		switch {
+		case p.draining.Load():
+			p.shedShutdown.Add(1)
+			t.job.shed(ErrShutdown)
+			p.retire(t.job)
+			continue
+		case t.ctx.Err() != nil:
+			if errors.Is(t.ctx.Err(), context.DeadlineExceeded) {
+				p.shedExpired.Add(1)
+			}
+			p.cancelled.Add(1)
+			t.job.shed(t.ctx.Err())
+			p.retire(t.job)
+			continue
+		case !t.deadline.IsZero() && !time.Now().Before(t.deadline):
+			p.shedExpired.Add(1)
+			t.job.shed(ErrDeadline)
+			p.retire(t.job)
+			continue
+		}
 		// created is immutable after newJob and the channel receive
 		// orders it before this read.
 		wait := time.Since(t.job.created)
@@ -179,7 +303,16 @@ func (p *Pool) worker() {
 		p.waitHist.Observe(wait.Seconds())
 		p.waitMu.Unlock()
 		t.job.setRunning()
-		t.job.finish(runProtected(t.fn))
+		runCtx, cancel := t.ctx, func() {}
+		if !t.deadline.IsZero() {
+			runCtx, cancel = context.WithDeadline(t.ctx, t.deadline)
+		}
+		res, err := p.runProtected(runCtx, t.fn)
+		cancel()
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			p.cancelled.Add(1)
+		}
+		t.job.finish(res, err)
 		p.retire(t.job)
 	}
 }
@@ -210,15 +343,21 @@ func (p *Pool) retire(j *Job) {
 	p.mu.Unlock()
 }
 
-// runProtected invokes fn, converting a panic into an error so one bad
-// job cannot take down a worker.
-func runProtected(fn Fn) (result any, err error) {
+// runProtected invokes fn, converting a panic into a PanicError so one
+// bad job cannot take down a worker, and counting the recovery.
+func (p *Pool) runProtected(ctx context.Context, fn CtxFn) (result any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("jobs: job panicked: %v", r)
+			p.panicsRecovered.Add(1)
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
 		}
 	}()
-	return fn()
+	return fn(ctx)
+}
+
+// adapt lifts a context-oblivious Fn into a CtxFn.
+func adapt(fn Fn) CtxFn {
+	return func(context.Context) (any, error) { return fn() }
 }
 
 // newJob registers a fresh queued job and takes a submission slot; the
@@ -245,22 +384,52 @@ func (p *Pool) newJob() (*Job, error) {
 // Submit enqueues fn without blocking; it fails with ErrQueueFull when
 // the queue is at capacity.
 func (p *Pool) Submit(fn Fn) (*Job, error) {
+	return p.SubmitCtx(context.Background(), SubmitOptions{}, adapt(fn))
+}
+
+// SubmitCtx enqueues a cancellation-aware job under admission control:
+// it fails fast with ErrDeadline when opts.Deadline has already passed,
+// with ErrWontFinish when opts.EstCost does not fit before the
+// deadline, and with ErrQueueFull when the queue has no room. ctx
+// cancels the job — before start it is shed at dequeue, mid-run the
+// job's context (bounded by the deadline) expires.
+func (p *Pool) SubmitCtx(ctx context.Context, opts SubmitOptions, fn CtxFn) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if faultinject.Fail(faultinject.SiteJobsAdmit) {
+		p.shedOverload.Add(1)
+		return nil, ErrQueueFull
+	}
+	if !opts.Deadline.IsZero() {
+		remain := time.Until(opts.Deadline)
+		if remain <= 0 {
+			p.shedExpired.Add(1)
+			return nil, ErrDeadline
+		}
+		if opts.EstCost > 0 && opts.EstCost > remain {
+			p.shedOverload.Add(1)
+			return nil, ErrWontFinish
+		}
+	}
 	j, err := p.newJob()
 	if err != nil {
 		return nil, err
 	}
 	defer p.subWG.Done()
 	select {
-	case p.queue <- task{job: j, fn: fn}:
+	case p.queue <- task{job: j, fn: fn, ctx: ctx, deadline: opts.Deadline}:
 		return j, nil
 	default:
 		p.drop(j)
+		p.shedOverload.Add(1)
 		return nil, ErrQueueFull
 	}
 }
 
 // SubmitWait enqueues fn, blocking while the queue is full until the
-// context is cancelled.
+// context is cancelled. ctx gates only the submission; the job itself
+// runs uncancellable (use SubmitCtx for cancellation-aware work).
 func (p *Pool) SubmitWait(ctx context.Context, fn Fn) (*Job, error) {
 	j, err := p.newJob()
 	if err != nil {
@@ -268,7 +437,7 @@ func (p *Pool) SubmitWait(ctx context.Context, fn Fn) (*Job, error) {
 	}
 	defer p.subWG.Done()
 	select {
-	case p.queue <- task{job: j, fn: fn}:
+	case p.queue <- task{job: j, fn: adapt(fn), ctx: context.Background()}:
 		return j, nil
 	case <-ctx.Done():
 		p.drop(j)
@@ -334,7 +503,8 @@ func (p *Pool) SubmitGroupThen(fns []Fn, then func([]any) (any, error)) (*Job, e
 			return
 		}
 		if then != nil {
-			parent.finish(runProtected(func() (any, error) { return then(results) }))
+			parent.finish(p.runProtected(context.Background(),
+				func(context.Context) (any, error) { return then(results) }))
 			return
 		}
 		parent.finish(results, nil)
@@ -380,14 +550,19 @@ func (p *Pool) Counts() Counts {
 			c.Done++
 		case StatusFailed:
 			c.Failed++
+		case StatusShed:
+			c.Shed++
 		}
 	}
 	return c
 }
 
-// Shutdown stops accepting new jobs and waits for queued and running
-// work to drain, or until the context is cancelled. It is safe to call
-// once.
+// Shutdown stops accepting new jobs, sheds every job still waiting in
+// the queue with ErrShutdown, and waits for the in-flight runs to
+// drain, or until the context is cancelled. Shed jobs reach a terminal
+// StatusShed state (their waiters unblock with the error) — they are
+// dropped, not run, so shutdown latency is bounded by one in-flight job
+// per worker. It is safe to call more than once.
 func (p *Pool) Shutdown(ctx context.Context) error {
 	p.mu.Lock()
 	if p.closed {
@@ -396,6 +571,7 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	p.draining.Store(true)
 
 	drained := make(chan struct{})
 	go func() {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -177,35 +178,69 @@ func TestMapParallelism(t *testing.T) {
 	}
 }
 
-func TestShutdownDrainsAndRejects(t *testing.T) {
-	p := NewPool(2, 8)
-	var ran int32
-	var mu sync.Mutex
-	jobs := make([]*Job, 6)
-	for i := range jobs {
+func TestShutdownDrainsRunnersAndShedsQueue(t *testing.T) {
+	const workers = 2
+	p := NewPool(workers, 8)
+
+	// Occupy every worker with a blocking job, then queue four more.
+	started := make(chan struct{}, workers)
+	release := make(chan struct{})
+	blockers := make([]*Job, workers)
+	for i := range blockers {
 		j, err := p.Submit(func() (any, error) {
-			mu.Lock()
-			ran++
-			mu.Unlock()
-			return nil, nil
+			started <- struct{}{}
+			<-release
+			return "ran", nil
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		jobs[i] = j
+		blockers[i] = j
 	}
-	if err := p.Shutdown(context.Background()); err != nil {
+	for i := 0; i < workers; i++ {
+		<-started
+	}
+	queued := make([]*Job, 4)
+	for i := range queued {
+		j, err := p.Submit(func() (any, error) { return "ran", nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued[i] = j
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- p.Shutdown(context.Background()) }()
+	// Shutdown must not complete while workers are still running.
+	select {
+	case err := <-done:
+		t.Fatalf("shutdown returned %v with runners still blocked", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
-	mu.Lock()
-	if ran != 6 {
-		t.Fatalf("%d jobs ran, want all 6 drained", ran)
-	}
-	mu.Unlock()
-	for _, j := range jobs {
-		if j.Snapshot().Status != StatusDone {
-			t.Fatalf("job %s status %q after drain", j.ID(), j.Snapshot().Status)
+
+	// In-flight runs drained to completion…
+	for _, j := range blockers {
+		snap := j.Snapshot()
+		if snap.Status != StatusDone || snap.Result != "ran" {
+			t.Fatalf("in-flight job %s: status %q, want done", j.ID(), snap.Status)
 		}
+	}
+	// …while queued-but-unstarted jobs were shed, not run.
+	for _, j := range queued {
+		snap := j.Snapshot()
+		if snap.Status != StatusShed {
+			t.Fatalf("queued job %s: status %q, want shed", j.ID(), snap.Status)
+		}
+		if !errors.Is(snap.Err, ErrShutdown) {
+			t.Fatalf("queued job %s shed with %v, want ErrShutdown", j.ID(), snap.Err)
+		}
+	}
+	if got := p.Resilience().ShedShutdown; got != 4 {
+		t.Fatalf("shed_shutdown %d, want 4", got)
 	}
 	if _, err := p.Submit(func() (any, error) { return nil, nil }); !errors.Is(err, ErrShutdown) {
 		t.Fatalf("submit after shutdown: %v, want ErrShutdown", err)
@@ -272,4 +307,156 @@ func TestCounts(t *testing.T) {
 		}
 	}
 	close(release)
+}
+
+func TestSubmitCtxShedsExpiredDeadline(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Shutdown(context.Background())
+
+	opts := SubmitOptions{Deadline: time.Now().Add(-time.Second)}
+	if _, err := p.SubmitCtx(context.Background(), opts, func(context.Context) (any, error) {
+		t.Error("expired job ran")
+		return nil, nil
+	}); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err %v, want ErrDeadline", err)
+	}
+	r := p.Resilience()
+	if r.ShedExpired != 1 {
+		t.Fatalf("shed_expired %d, want 1", r.ShedExpired)
+	}
+}
+
+func TestSubmitCtxShedsUnfittableCost(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Shutdown(context.Background())
+
+	opts := SubmitOptions{
+		Deadline: time.Now().Add(50 * time.Millisecond),
+		EstCost:  time.Hour,
+	}
+	if _, err := p.SubmitCtx(context.Background(), opts, func(context.Context) (any, error) {
+		t.Error("doomed job ran")
+		return nil, nil
+	}); !errors.Is(err, ErrWontFinish) {
+		t.Fatalf("err %v, want ErrWontFinish", err)
+	}
+	if got := p.Resilience().ShedOverload; got != 1 {
+		t.Fatalf("shed_overload %d, want 1", got)
+	}
+}
+
+func TestDequeueShedsExpiredJob(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Shutdown(context.Background())
+
+	// Wedge the single worker so the second job's deadline expires in
+	// the queue.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := p.Submit(func() (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	opts := SubmitOptions{Deadline: time.Now().Add(10 * time.Millisecond)}
+	j, err := p.SubmitCtx(context.Background(), opts, func(context.Context) (any, error) {
+		t.Error("expired job ran")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if _, err := j.Wait(context.Background()); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err %v, want ErrDeadline", err)
+	}
+	if j.Snapshot().Status != StatusShed {
+		t.Fatalf("status %q, want shed", j.Snapshot().Status)
+	}
+	if got := p.Resilience().ShedExpired; got != 1 {
+		t.Fatalf("shed_expired %d, want 1", got)
+	}
+}
+
+func TestDequeueShedsCancelledContext(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Shutdown(context.Background())
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := p.Submit(func() (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	j, err := p.SubmitCtx(ctx, SubmitOptions{}, func(context.Context) (any, error) {
+		t.Error("cancelled job ran")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	close(release)
+	if _, err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if got := p.Resilience().Cancelled; got != 1 {
+		t.Fatalf("cancelled %d, want 1", got)
+	}
+}
+
+func TestRunContextCarriesDeadline(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Shutdown(context.Background())
+
+	opts := SubmitOptions{Deadline: time.Now().Add(20 * time.Millisecond)}
+	j, err := p.SubmitCtx(context.Background(), opts, func(ctx context.Context) (any, error) {
+		if _, ok := ctx.Deadline(); !ok {
+			t.Error("run context carries no deadline")
+		}
+		<-ctx.Done() // the deadline fires mid-run
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want DeadlineExceeded", err)
+	}
+	if got := p.Resilience().Cancelled; got != 1 {
+		t.Fatalf("cancelled %d, want 1 (mid-run expiry)", got)
+	}
+}
+
+func TestPanicErrorCarriesValueAndStack(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Shutdown(context.Background())
+
+	j, err := p.Submit(func() (any, error) { panic("kaboom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = j.Wait(context.Background())
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T, want *PanicError", err)
+	}
+	if pe.Value != "kaboom" {
+		t.Fatalf("panic value %v, want kaboom", pe.Value)
+	}
+	if !strings.Contains(pe.Stack, "jobs_test.go") {
+		t.Fatal("stack does not name the panic site")
+	}
+	if got := p.Resilience().PanicsRecovered; got != 1 {
+		t.Fatalf("panics_recovered %d, want 1", got)
+	}
 }

@@ -239,8 +239,11 @@ func (c *Ctx) Attention(q, k, v *Var, heads int, scale float32) *Var {
 		countLowp(prec)
 		var sq, sk, sv float32
 		lowQ, sq = quantizeOperand(e, prec, qd)
+		defer e.Put(lowQ)
 		lowK, sk = quantizeOperand(e, prec, kd)
+		defer e.Put(lowK)
 		lowV, sv = quantizeOperand(e, prec, vd)
+		defer e.Put(lowV)
 		qd, kd, vd = lowQ, lowK, lowV
 		scoreScale = scale * sq * sk
 		outScale = sv
@@ -362,13 +365,8 @@ func (c *Ctx) Attention(q, k, v *Var, heads int, scale float32) *Var {
 			}
 		}
 	})
-	if prec != precision.F32 {
-		e.Put(lowQ)
-		e.Put(lowK)
-		e.Put(lowV)
-		if prec == precision.F16 {
-			roundSliceF16(e, od)
-		}
+	if prec == precision.F16 {
+		roundSliceF16(e, od)
 	}
 	if taping {
 		// The backward recomputes score tiles from the full-precision

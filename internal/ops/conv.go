@@ -114,6 +114,7 @@ func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
 		} else {
 			var sw float32
 			qw, sw = quantizeOperand(e, prec, wdta)
+			defer e.Put(qw)
 			gemmW = qw
 			if prec == precision.I8 {
 				deqScale = xScale * sw
@@ -121,6 +122,7 @@ func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
 		}
 	}
 	col := e.GetUninit(kDim * m) // im2col writes every entry
+	defer e.Put(col)
 	for ni := 0; ni < n; ni++ {
 		im2col(e, col, xd[ni*ch*h*wd:(ni+1)*ch*h*wd], ch, h, wd, kh, kw, oh, ow, stride, pad)
 		oslice := od[ni*outC*m : (ni+1)*outC*m]
@@ -142,8 +144,6 @@ func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
 			matmulNN(e, oslice, gemmW, col, outC, kDim, m)
 		}
 	}
-	e.Put(col)
-	e.Put(qw)
 	if bias != nil {
 		bd := bias.Value.Data()
 		e.ParallelFor(n*outC, rowGrain(m), func(r0, r1 int) {

@@ -110,7 +110,14 @@ func rowGrain(d int) int {
 // EnterStage activates the precision policy's assignment for a stage
 // scope. The network assembly layer calls it alongside recorder scope
 // changes; an empty stage (the between-stages scope) restores float32.
+//
+// Stage boundaries are also the forward pass's abort checkpoints: when
+// the context's engine handle carries a signalled cancellation flag,
+// EnterStage panics with the cancellation reason (classified by
+// engine.AbortReason in the runner's recover). No pooled scratch is
+// held across a stage boundary, so unwinding here leaks nothing.
 func (c *Ctx) EnterStage(stage, modality string) {
+	c.Eng.CancelFlag().CheckAbort()
 	c.prec = c.Precision.For(stage, modality)
 	if c.Prof != nil {
 		c.Prof.EnterStage(stage, modality)

@@ -232,12 +232,12 @@ func (c *Ctx) MatMulBatched(a, b *Var) *Var {
 	if p := c.prec; p != precision.F32 {
 		countLowp(p)
 		qa, sa := quantizeOperand(e, p, ad)
+		defer e.Put(qa)
 		qb, sb := quantizeOperand(e, p, bd)
+		defer e.Put(qb)
 		batchMatmul(e, bs, func(inner *engine.Engine, i int) {
 			matmulNN(inner, od[i*m*n:(i+1)*m*n], qa[i*m*k:(i+1)*m*k], qb[i*k*n:(i+1)*k*n], m, k, n)
 		})
-		e.Put(qa)
-		e.Put(qb)
 		finishLowp(e, p, od, sa*sb)
 	} else {
 		batchMatmul(e, bs, func(inner *engine.Engine, i int) {
@@ -293,7 +293,9 @@ func (c *Ctx) MatMulBatchedNT(a, b *Var, alpha float32) *Var {
 	if p := c.prec; p != precision.F32 {
 		countLowp(p)
 		qa, sa := quantizeOperand(e, p, ad)
+		defer e.Put(qa)
 		qb, sb := quantizeOperand(e, p, bd)
+		defer e.Put(qb)
 		// For i8 the operand scales fold into alpha, applied once per
 		// finished dot — the scale-after-accumulate order of an int8
 		// GEMM (for f16 sa·sb is 1 and alpha is unchanged).
@@ -301,8 +303,6 @@ func (c *Ctx) MatMulBatchedNT(a, b *Var, alpha float32) *Var {
 		batchMatmul(e, bs, func(inner *engine.Engine, i int) {
 			matmulNTAlpha(inner, od[i*m*n:(i+1)*m*n], qa[i*m*d:(i+1)*m*d], qb[i*n*d:(i+1)*n*d], m, d, n, alphaQ)
 		})
-		e.Put(qa)
-		e.Put(qb)
 		if p == precision.F16 {
 			roundSliceF16(e, od)
 		}
@@ -408,10 +408,10 @@ func (c *Ctx) Linear(x, w, bias *Var) *Var {
 			}
 		} else {
 			qx, sx := quantizeOperand(e, p, x.Value.Data())
+			defer e.Put(qx)
 			qw, sw := quantizeOperand(e, p, w.Value.Data())
+			defer e.Put(qw)
 			matmulNN(e, od, qx, qw, rows, in, outDim)
-			e.Put(qx)
-			e.Put(qw)
 			if p == precision.I8 {
 				scaleSlice(e, od, sx*sw)
 			} else if bias == nil {

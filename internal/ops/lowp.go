@@ -163,9 +163,9 @@ func lowpMatmulNN(e *engine.Engine, prec precision.Type, dst, a, b []float32, m,
 		return
 	}
 	qa, sa := quantizeOperand(e, prec, a)
+	defer e.Put(qa)
 	qb, sb := quantizeOperand(e, prec, b)
+	defer e.Put(qb)
 	matmulNN(e, dst, qa, qb, m, k, n)
-	e.Put(qa)
-	e.Put(qb)
 	finishLowp(e, prec, dst, sa*sb)
 }

@@ -93,6 +93,7 @@ func (c *Ctx) CrossEntropy(logits *Var, labels []int) *Var {
 		probs = make([]float32, b*k)
 	} else {
 		probs = e.GetUninit(b * k) // softmaxRows writes every entry
+		defer e.Put(probs)
 	}
 	softmaxRows(e, logits.Value.Data(), probs, b, k)
 	var loss float64
@@ -120,8 +121,6 @@ func (c *Ctx) CrossEntropy(logits *Var, labels []int) *Var {
 				}
 			})
 		})
-	} else {
-		e.Put(probs)
 	}
 	return out
 }
@@ -147,6 +146,7 @@ func (c *Ctx) BCEWithLogits(logits *Var, targets *tensor.Tensor) *Var {
 		sig = make([]float32, n)
 	} else {
 		sig = e.GetUninit(n) // fully overwritten below
+		defer e.Put(sig)
 	}
 	// Sigmoids are element-independent; the loss reduction stays on the
 	// coordinating goroutine for a fixed summation order.
@@ -173,8 +173,6 @@ func (c *Ctx) BCEWithLogits(logits *Var, targets *tensor.Tensor) *Var {
 				}
 			})
 		})
-	} else {
-		e.Put(sig)
 	}
 	return out
 }
@@ -237,6 +235,7 @@ func (c *Ctx) DiceLoss(logits *Var, mask *tensor.Tensor) *Var {
 		sig = make([]float32, n)
 	} else {
 		sig = e.GetUninit(n) // fully overwritten below
+		defer e.Put(sig)
 	}
 	e.ParallelFor(n, elemGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -266,8 +265,6 @@ func (c *Ctx) DiceLoss(logits *Var, mask *tensor.Tensor) *Var {
 				}
 			})
 		})
-	} else {
-		e.Put(sig)
 	}
 	return out
 }

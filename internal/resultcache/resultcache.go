@@ -88,11 +88,15 @@ type entry struct {
 	bytes int64
 }
 
-// call is one in-flight computation other callers can join.
+// call is one in-flight computation other callers can join. ok flips
+// true only when the leader produced a cacheable value: joiners treat
+// anything else (error, panic, cancellation) as "no result" and retry
+// with their own computation instead of inheriting a failure that may
+// belong to the leader alone (its context, its injected fault).
 type call struct {
 	done  chan struct{}
 	value any
-	err   error
+	ok    bool
 }
 
 // Cache is a byte-budgeted LRU with singleflight deduplication. The
@@ -121,41 +125,68 @@ func New(capacityBytes int64) *Cache {
 
 // Do returns the cached value for key, or runs compute to produce it.
 // compute returns the value plus its size in bytes for the LRU budget.
-// Concurrent calls with the same key share one compute invocation
-// (errors are shared too, but not cached). Values must be treated as
+// Concurrent calls with the same key share one successful compute
+// invocation. Failures never poison the key: an error, panic or
+// cancellation is returned (or re-raised) only on the caller whose
+// compute produced it, while coalesced waiters retry with their own
+// compute — a request cancelled by its client must not fail the
+// neighbours that happened to coalesce onto it, and a panicking
+// compute must not wedge the key forever. Values must be treated as
 // immutable by every caller, since one value is handed to many.
 func (c *Cache) Do(key string, compute func() (any, int64, error)) (any, error) {
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.stats.Hits++
-		v := el.Value.(*entry).value
+	first := true
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.stats.Hits++
+			v := el.Value.(*entry).value
+			c.mu.Unlock()
+			return v, nil
+		}
+		if first {
+			// Retries after a failed leader are the same logical lookup,
+			// not a new miss.
+			c.stats.Misses++
+			first = false
+		}
+		if cl, ok := c.inflight[key]; ok {
+			c.stats.Coalesced++
+			c.mu.Unlock()
+			<-cl.done
+			if cl.ok {
+				return cl.value, nil
+			}
+			continue // leader failed: compete to lead the retry
+		}
+		cl := &call{done: make(chan struct{})}
+		c.inflight[key] = cl
+		c.stats.Executions++
 		c.mu.Unlock()
-		return v, nil
-	}
-	c.stats.Misses++
-	if cl, ok := c.inflight[key]; ok {
-		c.stats.Coalesced++
-		c.mu.Unlock()
-		<-cl.done
-		return cl.value, cl.err
-	}
-	cl := &call{done: make(chan struct{})}
-	c.inflight[key] = cl
-	c.stats.Executions++
-	c.mu.Unlock()
 
-	value, bytes, err := compute()
-	cl.value, cl.err = value, err
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if err == nil {
-		c.add(key, value, bytes)
+		var value any
+		var bytes int64
+		var err error
+		completed := false
+		// The cleanup must run even when compute panics (the panic then
+		// unwinds to this caller): the in-flight entry is removed and the
+		// waiters are released either way, so no key is ever wedged.
+		func() {
+			defer func() {
+				cl.value, cl.ok = value, completed && err == nil
+				c.mu.Lock()
+				delete(c.inflight, key)
+				if cl.ok {
+					c.add(key, value, bytes)
+				}
+				c.mu.Unlock()
+				close(cl.done)
+			}()
+			value, bytes, err = compute()
+			completed = true
+		}()
+		return value, err
 	}
-	c.mu.Unlock()
-	close(cl.done)
-	return value, err
 }
 
 // Get looks up a key without computing.

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestKeyCanonicalization(t *testing.T) {
@@ -263,5 +265,104 @@ func TestManyKeysConcurrent(t *testing.T) {
 	wg.Wait()
 	if c.Len() != 10 {
 		t.Fatalf("%d entries, want 10", c.Len())
+	}
+}
+
+func TestPanickingComputeDoesNotWedgeKey(t *testing.T) {
+	c := New(1 << 20)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Do swallowed the compute panic")
+			}
+		}()
+		c.Do("k", func() (any, int64, error) { panic("kernel crash") })
+	}()
+	// The key must be computable again — no wedged in-flight entry.
+	done := make(chan any, 1)
+	go func() {
+		v, err := c.Do("k", func() (any, int64, error) { return "ok", 2, nil })
+		if err != nil {
+			t.Error(err)
+		}
+		done <- v
+	}()
+	select {
+	case v := <-done:
+		if v != "ok" {
+			t.Fatalf("value %v, want ok", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("key wedged after a panicking compute")
+	}
+}
+
+func TestCoalescedWaiterRetriesOnLeaderFailure(t *testing.T) {
+	c := New(1 << 20)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var executions atomic.Int64
+
+	var wg sync.WaitGroup
+	leaderErr := errors.New("leader cancelled")
+	results := make([]error, 3)
+	values := make([]any, 3)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		values[0], results[0] = c.Do("k", func() (any, int64, error) {
+			executions.Add(1)
+			close(leaderIn)
+			<-release
+			return nil, 0, leaderErr
+		})
+	}()
+	<-leaderIn
+	for i := 1; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			values[i], results[i] = c.Do("k", func() (any, int64, error) {
+				executions.Add(1)
+				return "recomputed", 10, nil
+			})
+		}()
+	}
+	// Let the followers coalesce onto the in-flight leader, then fail it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(results[0], leaderErr) {
+		t.Fatalf("leader error %v, want its own failure", results[0])
+	}
+	for i := 1; i < 3; i++ {
+		if results[i] != nil {
+			t.Fatalf("waiter %d inherited the leader's failure: %v", i, results[i])
+		}
+		if values[i] != "recomputed" {
+			t.Fatalf("waiter %d value %v, want recomputed", i, values[i])
+		}
+	}
+	// One of the waiters re-led the computation; the other hit the fresh
+	// cache entry or coalesced onto the retry.
+	if got := executions.Load(); got < 2 || got > 3 {
+		t.Fatalf("%d executions, want 2 or 3 (leader + at most both retries)", got)
+	}
+	if v, ok := c.Get("k"); !ok || v != "recomputed" {
+		t.Fatal("successful retry was not cached")
+	}
+}
+
+func TestErrorResultNotShared(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("boom")
+	if _, err := c.Do("k", func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err %v, want boom", err)
+	}
+	v, err := c.Do("k", func() (any, int64, error) { return 7, 1, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("second Do got (%v, %v), want (7, nil): error was retained", v, err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mmbench/internal/engine"
+	"mmbench/internal/faultinject"
 	"mmbench/internal/gemm"
 	"mmbench/internal/mmnet"
 	"mmbench/internal/obs"
@@ -29,6 +30,8 @@ import (
 //	mmbench_attention_*        fused-attention scratch-pool counters
 //	mmbench_branches_*         branch-executor counters
 //	mmbench_precision_*        low-precision kernel counters
+//	mmbench_resilience_*       shed/cancel/panic/quarantine counters
+//	mmbench_faults_injected_total     fault-injection firings, {site}
 //	mmbench_service_latency_seconds   /v1/run latency histogram
 //	mmbench_queue_wait_seconds        scheduler queue-wait histogram
 //	mmbench_stage_latency_seconds     per-stage eager wall time, {stage}
@@ -68,6 +71,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.counter("mmbench_engine_pool_hits_total", "Buffer-pool hits.", float64(es.PoolHits))
 	m.counter("mmbench_engine_pool_misses_total", "Buffer-pool misses.", float64(es.PoolMisses))
 	m.counter("mmbench_engine_pool_reused_bytes_total", "Bytes served from the buffer pool.", float64(es.BytesReused))
+	m.gauge("mmbench_engine_pool_outstanding", "Pooled buffers checked out and not yet returned (nonzero at rest is a leak).", float64(es.PoolOutstanding))
 
 	gs := gemm.PackStats()
 	m.counter("mmbench_engine_pack_checkouts_total", "Packed-GEMM panel buffers drawn.", float64(gs.PanelCheckouts))
@@ -90,6 +94,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.counter("mmbench_precision_f16_kernels_total", "GEMM-family kernels run at emulated f16 storage.", float64(ps.F16Kernels))
 	m.counter("mmbench_precision_i8_kernels_total", "GEMM-family kernels run at emulated int8 storage.", float64(ps.I8Kernels))
 	m.counter("mmbench_precision_quant_scratch_bytes_total", "Pooled scratch bytes drawn for quantized operand copies.", float64(ps.QuantScratchBytes))
+
+	rs := s.pool.Resilience()
+	m.counter("mmbench_resilience_shed_expired_total", "Jobs shed because their deadline expired before start.", float64(rs.ShedExpired))
+	m.counter("mmbench_resilience_shed_overload_total", "Jobs shed by admission control (full queue, or estimated cost past the deadline).", float64(rs.ShedOverload))
+	m.counter("mmbench_resilience_shed_shutdown_total", "Queued jobs shed during shutdown drain.", float64(rs.ShedShutdown))
+	m.counter("mmbench_resilience_cancelled_total", "Jobs cancelled by their context, before or during the run.", float64(rs.Cancelled))
+	m.counter("mmbench_resilience_panics_recovered_total", "Job panics recovered into failures.", float64(rs.PanicsRecovered))
+	m.counter("mmbench_resilience_quarantined_configs_total", "Workload configs quarantined after repeated panics.", float64(s.quar.count()))
+	if faultinject.Enabled() {
+		m.head("mmbench_faults_injected_total", "Fault-injection rule firings by site.", "counter")
+		for _, site := range faultinject.Sites() {
+			m.labeled("mmbench_faults_injected_total",
+				fmt.Sprintf("site=%q", string(site)), float64(faultinject.Fired(site)))
+		}
+	}
 
 	m.histogram("mmbench_service_latency_seconds", "POST /v1/run service latency.", "", s.serviceLatency())
 	m.histogram("mmbench_queue_wait_seconds", "Scheduler queue wait, submission to worker pickup.", "", s.pool.QueueWait())

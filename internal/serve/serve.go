@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,15 @@ type Options struct {
 	// the endpoints expose goroutine dumps and CPU profiles, which a
 	// benchmark service should only serve when asked to.
 	Pprof bool
+	// DefaultDeadline caps every /v1/run request's completion deadline
+	// (the -deadline flag of mmbench serve). Clients may request less
+	// time via X-Deadline-Ms, never more. Zero means no server-side
+	// deadline: only clients that send the header get one.
+	DefaultDeadline time.Duration
+	// QuarantineThreshold is how many recovered panics a single
+	// workload-config fingerprint may accumulate before the config is
+	// quarantined (requests fail fast with 422). Default 3.
+	QuarantineThreshold int
 }
 
 // Server is the benchmark service.
@@ -57,6 +67,10 @@ type Server struct {
 	mux              *http.ServeMux
 	start            time.Time
 	defaultPrecision string
+	defaultDeadline  time.Duration
+	workers          int
+	quar             *quarantine
+	est              *costEstimator
 
 	mu       sync.Mutex
 	requests uint64
@@ -88,6 +102,10 @@ func New(opts Options) *Server {
 		mux:              http.NewServeMux(),
 		start:            time.Now(),
 		defaultPrecision: opts.DefaultPrecision,
+		defaultDeadline:  opts.DefaultDeadline,
+		workers:          opts.Workers,
+		quar:             newQuarantine(opts.QuarantineThreshold),
+		est:              newCostEstimator(),
 	}
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
@@ -143,6 +161,18 @@ func decode(w http.ResponseWriter, r *http.Request, v any) error {
 		return err
 	}
 	return nil
+}
+
+// writeDecodeErr distinguishes an oversized body (the MaxBytesReader
+// tripped → 413) from a malformed one (400).
+func (s *Server) writeDecodeErr(w http.ResponseWriter, r *http.Request, what string, err error) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		s.writeErr(w, r, http.StatusRequestEntityTooLarge,
+			"%s body exceeds %d bytes", what, maxErr.Limit)
+		return
+	}
+	s.writeErr(w, r, http.StatusBadRequest, "bad %s request: %v", what, err)
 }
 
 func (s *Server) countRequest() {
@@ -213,22 +243,82 @@ func (rr RunRequest) config(defaultPrecision string) mmbench.RunConfig {
 	}
 }
 
+// handleRun executes one profiled run under the full resilience
+// contract: the request is admitted through the scheduler (deadline-
+// and cost-aware, so doomed work is shed with 429/503 + Retry-After
+// instead of queued), its context cancels the engine's chunk dispatch
+// when the client disconnects or the deadline expires, and panics are
+// recovered, counted against the config's fingerprint, and — after
+// repeated panics — quarantined into an immediate 422.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.countRequest()
 	var req RunRequest
 	if err := decode(w, r, &req); err != nil {
-		s.writeErr(w, r, http.StatusBadRequest, "bad run request: %v", err)
+		s.writeDecodeErr(w, r, "run", err)
 		return
 	}
-	begin := time.Now()
-	rep, stageMs, err := s.runner.RunProfiled(req.config(s.defaultPrecision))
+	cfg := req.config(s.defaultPrecision)
+	fp := cfg.Fingerprint()
+	if summary, bad := s.quar.blocked(fp); bad {
+		s.writeErr(w, r, http.StatusUnprocessableEntity,
+			"workload config quarantined after repeated panics: %s", summary)
+		return
+	}
+	deadline, err := s.requestDeadline(r)
 	if err != nil {
-		// The model is deterministic: a failed run is a config problem,
-		// not a transient one.
 		s.writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.recordLatency(time.Since(begin))
+
+	// The real execution — and only it — goes through scheduler
+	// admission: cache hits and requests coalesced onto an in-flight
+	// identical execution never consume a queue slot, so N identical
+	// clients cost one admission and one run.
+	begin := time.Now()
+	var executed bool
+	rep, stageMs, err := s.runner.RunProfiledCtxVia(r.Context(), cfg,
+		func(compute mmbench.ComputeFn) (any, error) {
+			executed = true
+			job, err := s.pool.SubmitCtx(r.Context(),
+				jobs.SubmitOptions{Deadline: deadline, EstCost: s.est.estimate(fp)},
+				func(ctx context.Context) (any, error) { return compute(ctx) })
+			if err != nil {
+				return nil, err
+			}
+			<-job.Done()
+			snap := job.Snapshot()
+			return snap.Result, snap.Err
+		})
+	if err != nil {
+		var pe *jobs.PanicError
+		switch {
+		case errors.As(err, &pe):
+			// The fingerprint is known here whichever layer panicked —
+			// engine worker, branch executor, kernel — because the pool
+			// funnels every recovered panic into one PanicError.
+			s.quar.recordPanic(fp, fmt.Sprintf("%v", pe.Value))
+			s.writeErr(w, r, http.StatusInternalServerError, "run panicked: %v", pe.Value)
+		case errors.Is(err, jobs.ErrDeadline), errors.Is(err, jobs.ErrWontFinish),
+			errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrShutdown),
+			errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			// Shed at admission or in the queue, or cancelled mid-run
+			// (client gone, or the deadline fired and stopped the engine
+			// at a chunk boundary).
+			s.writeShed(w, r, err)
+		default:
+			// The model is deterministic: any other failed run is a config
+			// problem, not a transient one.
+			s.writeErr(w, r, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	wall := time.Since(begin)
+	s.recordLatency(wall)
+	if executed {
+		// Calibrate the cost estimator on real executions only: a cache
+		// hit's wall time says nothing about the run's compute cost.
+		s.est.observe(fp, rep.LatencySeconds, wall)
+	}
 	body := map[string]any{"report": rep}
 	if len(stageMs) > 0 {
 		// Measured per-stage wall time, eager runs only. Kept outside
@@ -237,6 +327,26 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		body["stage_latency_ms"] = stageMs
 	}
 	s.writeJSON(w, r, http.StatusOK, body)
+}
+
+// quarRun wraps the cached runner for sweep cells: a quarantined config
+// fails its cell fast, and a panicking cell is recovered, recorded
+// against the config's fingerprint, and reported as that cell's error
+// instead of crashing the whole sweep's worker.
+func (s *Server) quarRun(cfg mmbench.RunConfig) (rep *mmbench.Report, err error) {
+	fp := cfg.Fingerprint()
+	if summary, bad := s.quar.blocked(fp); bad {
+		return nil, fmt.Errorf("workload config quarantined after repeated panics: %s", summary)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.quar.recordPanic(fp, fmt.Sprint(r))
+			// Re-raise: each sweep cell is its own pool job, so the pool
+			// recovers it into the cell's PanicError and counts it.
+			panic(r)
+		}
+	}()
+	return s.runner.Run(cfg)
 }
 
 // SweepRequest is the POST /v1/sweep body.
@@ -258,7 +368,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.countRequest()
 	var req SweepRequest
 	if err := decode(w, r, &req); err != nil {
-		s.writeErr(w, r, http.StatusBadRequest, "bad sweep request: %v", err)
+		s.writeDecodeErr(w, r, "sweep", err)
 		return
 	}
 	// Like /v1/run, a sweep that does not choose precisions falls back
@@ -279,7 +389,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Precisions: req.Precisions,
 		Eager:      req.Eager,
 		Seed:       req.Seed,
-	}, s.runner.Run)
+	}, s.quarRun)
 	if err != nil {
 		s.writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
@@ -287,6 +397,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	job, err := s.pool.SubmitGroupThen(fns, assemble)
 	if err != nil {
 		if errors.Is(err, jobs.ErrShutdown) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			s.writeErr(w, r, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
@@ -354,6 +465,9 @@ type Stats struct {
 	Attention AttentionStats `json:"attention"`
 	Branches  BranchStats    `json:"branches"`
 	Precision PrecisionStats `json:"precision"`
+	// Resilience reports load shedding, cancellation, panic recovery and
+	// quarantine — the overload-resilience counters.
+	Resilience ResilienceStats `json:"resilience"`
 }
 
 // LatencyStats are streaming percentiles over every /v1/run since
@@ -508,11 +622,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Default:           s.canonicalDefaultPrecision(),
 			PrecisionActivity: ops.PrecisionStats(),
 		},
+		Resilience: s.resilienceStats(),
 		Jobs: map[string]int{
 			"queued":  counts.Queued,
 			"running": counts.Running,
 			"done":    counts.Done,
 			"failed":  counts.Failed,
+			"shed":    counts.Shed,
 		},
 	})
 }

@@ -21,11 +21,13 @@
 package mmbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"mmbench/internal/core"
 	"mmbench/internal/device"
+	"mmbench/internal/faultinject"
 	"mmbench/internal/fusion"
 	"mmbench/internal/kernels"
 	"mmbench/internal/metrics"
@@ -165,7 +167,16 @@ type Report struct {
 
 // Run profiles one workload variant on one device.
 func Run(cfg RunConfig) (*Report, error) {
-	rep, _, err := runImpl(cfg, nil)
+	rep, _, err := runImpl(nil, cfg, nil)
+	return rep, err
+}
+
+// RunCtx is Run under a cancellable context: cancellation (or a
+// deadline) stops the eager engine's chunk dispatch within one chunk
+// boundary, aborts the run at its next stage-boundary checkpoint, and
+// returns ctx.Err(). A background context behaves exactly like Run.
+func RunCtx(ctx context.Context, cfg RunConfig) (*Report, error) {
+	rep, _, err := runImpl(ctx, cfg, nil)
 	return rep, err
 }
 
@@ -174,20 +185,29 @@ func Run(cfg RunConfig) (*Report, error) {
 // milliseconds. Analytic runs execute no kernels, so their stage map is
 // nil.
 func RunProfiled(cfg RunConfig) (*Report, map[string]float64, error) {
+	return RunProfiledCtx(nil, cfg)
+}
+
+// RunProfiledCtx is RunProfiled under a cancellable context (see
+// RunCtx).
+func RunProfiledCtx(ctx context.Context, cfg RunConfig) (*Report, map[string]float64, error) {
 	if !cfg.Eager {
-		return runImpl(cfg, nil)
+		return runImpl(ctx, cfg, nil)
 	}
-	return runImpl(cfg, obs.NewProfiler())
+	return runImpl(ctx, cfg, obs.NewProfiler())
 }
 
 // RunWithProfiler is Run recording into a caller-owned profiler, for
 // callers that also want the span-level profile (the CLI's Chrome trace
 // export). The caller seals the profiler with Finish after the run.
 func RunWithProfiler(cfg RunConfig, p *obs.Profiler) (*Report, map[string]float64, error) {
-	return runImpl(cfg, p)
+	return runImpl(nil, cfg, p)
 }
 
-func runImpl(cfg RunConfig, prof *obs.Profiler) (*Report, map[string]float64, error) {
+func runImpl(ctx context.Context, cfg RunConfig, prof *obs.Profiler) (*Report, map[string]float64, error) {
+	// The runner.run injection site: a "panic" rule here simulates a
+	// workload whose kernels reliably crash (the quarantine trigger).
+	faultinject.Hit(faultinject.SiteRunner)
 	if cfg.Workload == "" {
 		return nil, nil, fmt.Errorf("mmbench: RunConfig.Workload is required")
 	}
@@ -217,6 +237,7 @@ func runImpl(cfg RunConfig, prof *obs.Profiler) (*Report, map[string]float64, er
 		Seed:      cfg.Seed,
 		Precision: pol,
 		Profiler:  prof,
+		Ctx:       ctx,
 	})
 	if err != nil {
 		return nil, nil, err
