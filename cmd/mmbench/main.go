@@ -8,6 +8,7 @@
 //	mmbench train [flags]                train a variant and report metric
 //	mmbench repro [flags] <id>|all       regenerate a paper table/figure
 //	mmbench sweep [flags]                sweep batch sizes and devices
+//	mmbench place [flags]                plan stage placement across the fleet
 //	mmbench serve [flags]                run the benchmark HTTP service
 //
 // Run "mmbench <command> -h" for per-command flags.
@@ -48,6 +49,8 @@ func main() {
 		err = cmdRepro(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "place":
+		err = cmdPlace(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
@@ -73,6 +76,7 @@ Commands:
   train       train a variant on synthetic data and report its metric
   repro       regenerate a table/figure of the paper (or "all")
   sweep       profile a variant across devices and batch sizes
+  place       plan stage placement across the heterogeneous fleet
   serve       run the benchmark-as-a-service HTTP API`)
 }
 

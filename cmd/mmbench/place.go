@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mmbench"
+	"mmbench/internal/place"
+	"mmbench/internal/report"
+)
+
+// cmdPlace searches stage→device placements of one workload's compiled
+// stage plan across the built-in heterogeneous fleet and reports the
+// latency/energy/error frontier — where each encoder, the fusion join
+// and the head should run (and at which precision) under a latency SLO.
+func cmdPlace(args []string) error {
+	fs := flag.NewFlagSet("place", flag.ExitOnError)
+	workload := fs.String("workload", "avmnist", "workload name (see list)")
+	variant := fs.String("variant", "", "fusion method or uni:<modality> (default: workload's first fusion)")
+	batch := fs.Int("batch", 32, "batch size")
+	paper := fs.Bool("paper", true, "use the paper-scale profile flavour")
+	sloMs := fs.Float64("slo-ms", 0, "latency SLO in milliseconds (0 = unconstrained)")
+	precisions := fs.String("precisions", "f32,f16,i8",
+		"comma-separated storage precisions the planner may assign per stage")
+	top := fs.Int("top", 8, "frontier rows to report")
+	format := fs.String("format", "text", "output format: text, csv or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var precList []string
+	for _, p := range strings.Split(*precisions, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			precList = append(precList, p)
+		}
+	}
+	rep, err := mmbench.Place(mmbench.PlaceConfig{
+		Workload:   *workload,
+		Variant:    *variant,
+		Batch:      *batch,
+		Paper:      paper,
+		SLOMs:      *sloMs,
+		Precisions: precList,
+		Top:        *top,
+	})
+	if err != nil {
+		return err
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	return report.Render(os.Stdout, *format, placeTables(rep)...)
+}
+
+// placeTables renders a placement report as the CLI's table set.
+func placeTables(rep *mmbench.PlaceReport) []*report.Table {
+	planT := report.NewTable(
+		fmt.Sprintf("Stage plan: %s (batch %d)", rep.Network, rep.Batch),
+		"Node", "Kernels", "GFLOPs", "Param MB", "Out KB")
+	for _, n := range rep.Nodes {
+		planT.AddRow(n.Key, fmt.Sprint(n.Kernels),
+			fmt.Sprintf("%.3f", float64(n.FLOPs)/1e9),
+			fmt.Sprintf("%.2f", float64(n.ParamBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(n.OutBytes)/(1<<10)))
+	}
+
+	baseT := report.NewTable("Single-device baselines (f32)",
+		"Device", "Latency (ms)", "Energy (mJ)", "Slowest stage", "Stage imbalance")
+	for _, b := range rep.Baselines {
+		key, imb := stageImbalance(b)
+		baseT.AddRow(b.Stages[0].Device,
+			fmt.Sprintf("%.3f", b.LatencyMs),
+			fmt.Sprintf("%.1f", b.EnergyMJ),
+			key, fmt.Sprintf("%.1fx", imb))
+	}
+
+	title := "Placement frontier"
+	if rep.SLOMs > 0 {
+		title = fmt.Sprintf("Placement frontier (SLO %.1f ms, %d/%d feasible)",
+			rep.SLOMs, rep.Feasible, rep.Evaluated)
+	}
+	frontT := report.NewTable(title,
+		"Latency (ms)", "Energy (mJ)", "Err bound", "Placement")
+	for _, c := range rep.Frontier {
+		frontT.AddRow(
+			fmt.Sprintf("%.3f", c.LatencyMs),
+			fmt.Sprintf("%.1f", c.EnergyMJ),
+			fmt.Sprintf("%.3f", c.ErrBound),
+			placementString(c))
+	}
+	tables := []*report.Table{planT, baseT, frontT}
+
+	if len(rep.Frontier) > 0 {
+		best := rep.Frontier[0]
+		bestT := report.NewTable(
+			fmt.Sprintf("Best placement breakdown (%.3f ms)", best.LatencyMs),
+			"Stage", "Device", "Precision", "Stage (ms)", "Edge KB", "Edge (ms)", "Edge to")
+		for _, s := range best.Stages {
+			edgeTo := s.EdgeTo
+			if edgeTo == "" {
+				edgeTo = "-"
+			}
+			bestT.AddRow(s.Stage, s.Device, s.Precision.String(),
+				fmt.Sprintf("%.3f", s.Ms),
+				fmt.Sprintf("%.1f", float64(s.EdgeBytes)/(1<<10)),
+				fmt.Sprintf("%.3f", s.EdgeMs), edgeTo)
+		}
+		tables = append(tables, bestT)
+	}
+	return tables
+}
+
+// stageImbalance names the slowest stage of a single-device placement
+// and its time relative to the mean stage time — the paper's
+// stage-imbalance observation in one number.
+func stageImbalance(c place.Candidate) (string, float64) {
+	var maxMs, sum float64
+	key := ""
+	for _, s := range c.Stages {
+		sum += s.Ms
+		if s.Ms > maxMs {
+			maxMs, key = s.Ms, s.Stage
+		}
+	}
+	if sum == 0 || len(c.Stages) == 0 {
+		return key, 1
+	}
+	return key, maxMs / (sum / float64(len(c.Stages)))
+}
+
+// placementString compacts a placement into "stage=device/prec ..."
+// in stage order.
+func placementString(c place.Candidate) string {
+	parts := make([]string, 0, len(c.Stages))
+	for _, s := range c.Stages {
+		parts = append(parts, s.Stage+"="+s.Device+"/"+s.Precision.String())
+	}
+	return strings.Join(parts, " ")
+}

@@ -57,6 +57,16 @@ func New(major, full *mmnet.Network, threshold float64) (*Cascade, error) {
 // low-confidence samples. It returns predictions and the escalated-sample
 // mask.
 func (c *Cascade) Classify(b *data.Batch) (preds []int, escalated []bool) {
+	preds, escalated, _, _ = c.classify(b)
+	return preds, escalated
+}
+
+// classify is Classify keeping its intermediate products: the major
+// network's own predictions (before escalation overwrites any) and the
+// full network's predictions when escalation ran (nil otherwise), so
+// Evaluate can reuse the cascade's forwards instead of re-running both
+// networks per batch.
+func (c *Cascade) classify(b *data.Batch) (preds []int, escalated []bool, majorPreds, fullPreds []int) {
 	ctx := ops.Infer()
 	out := c.Major.Forward(ctx, b)
 	probs := ctx.Softmax(out)
@@ -77,20 +87,21 @@ func (c *Cascade) Classify(b *data.Batch) (preds []int, escalated []bool) {
 			needFull = true
 		}
 	}
+	majorPreds = append([]int(nil), preds...)
 	if !needFull {
-		return preds, escalated
+		return preds, escalated, majorPreds, nil
 	}
 	// Escalate: the full network re-processes the batch; its predictions
 	// replace the low-confidence ones. (A production system would gather
 	// only the escalated samples; re-running the batch keeps the
 	// reference implementation simple without changing accuracy.)
-	fullPreds := train.Predictions(c.Full.Forward(ops.Infer(), b))
+	fullPreds = train.Predictions(c.Full.Forward(ops.Infer(), b))
 	for i, esc := range escalated {
 		if esc {
 			preds[i] = fullPreds[i]
 		}
 	}
-	return preds, escalated
+	return preds, escalated, majorPreds, fullPreds
 }
 
 // Result summarizes a cascade evaluation against its two endpoints.
@@ -114,9 +125,16 @@ func Evaluate(c *Cascade, dev *device.Profile, rng *tensor.RNG, nBatches, batchS
 	var correctCascade, correctMajor, correctFull, escalations, total int
 	for bi := 0; bi < nBatches; bi++ {
 		b := c.Full.Gen.Batch(rng.Split(int64(bi)), batchSize)
-		preds, escalated := c.Classify(b)
-		majorPreds := train.Predictions(c.Major.Forward(ops.Infer(), b))
-		fullPreds := train.Predictions(c.Full.Forward(ops.Infer(), b))
+		// The cascade's own forwards supply the major predictions (its
+		// cheap path before escalation overwrites) and, when any sample
+		// escalated, the full predictions too — eager kernels are
+		// deterministic, so reusing them is bitwise identical to
+		// re-running the networks. Only an all-confident batch needs one
+		// extra full forward for the FullAccuracy endpoint.
+		preds, escalated, majorPreds, fullPreds := c.classify(b)
+		if fullPreds == nil {
+			fullPreds = train.Predictions(c.Full.Forward(ops.Infer(), b))
+		}
 		for i := 0; i < b.Size; i++ {
 			total++
 			if preds[i] == b.Labels[i] {

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"mmbench/internal/device"
+	"mmbench/internal/mmnet"
+	"mmbench/internal/ops"
 	"mmbench/internal/tensor"
 	"mmbench/internal/train"
 	"mmbench/internal/workloads"
@@ -76,6 +78,67 @@ func TestCascadeTradeoff(t *testing.T) {
 	}
 	if res.CascadeAccuracy < res.FullAccuracy-0.12 {
 		t.Errorf("cascade accuracy %f far below full %f", res.CascadeAccuracy, res.FullAccuracy)
+	}
+}
+
+// TestEvaluateReusesCascadeForwards pins the fix that stopped Evaluate
+// re-running both networks per batch: its accuracies must equal a naive
+// recomputation exactly (eager kernels are deterministic), and the
+// network-forward count must stay at ≤2 per batch — the cascade's own
+// forwards plus at most one extra full forward — plus the two abstract
+// forwards the analytic cost model's plan compilations perform.
+func TestEvaluateReusesCascadeForwards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	c, _ := trainedPair(t)
+	const nBatches, batchSize = 4, 32
+
+	// Naive reference: dedicated forwards for every strategy, the way
+	// Evaluate worked before the fix. Uses its own RNG at the same seed
+	// because Split advances the parent stream.
+	var correctCascade, correctMajor, correctFull, total int
+	naiveRNG := tensor.NewRNG(777)
+	for bi := 0; bi < nBatches; bi++ {
+		b := c.Full.Gen.Batch(naiveRNG.Split(int64(bi)), batchSize)
+		preds, _ := c.Classify(b)
+		majorPreds := train.Predictions(c.Major.Forward(ops.Infer(), b))
+		fullPreds := train.Predictions(c.Full.Forward(ops.Infer(), b))
+		for i := 0; i < b.Size; i++ {
+			total++
+			if preds[i] == b.Labels[i] {
+				correctCascade++
+			}
+			if majorPreds[i] == b.Labels[i] {
+				correctMajor++
+			}
+			if fullPreds[i] == b.Labels[i] {
+				correctFull++
+			}
+		}
+	}
+
+	before := mmnet.BranchStats()
+	res, err := Evaluate(c, device.RTX2080Ti(), tensor.NewRNG(777), nBatches, batchSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := mmnet.BranchStats()
+
+	if want := float64(correctCascade) / float64(total); res.CascadeAccuracy != want {
+		t.Errorf("cascade accuracy %v != naive recomputation %v", res.CascadeAccuracy, want)
+	}
+	if want := float64(correctMajor) / float64(total); res.MajorAccuracy != want {
+		t.Errorf("major accuracy %v != naive recomputation %v", res.MajorAccuracy, want)
+	}
+	if want := float64(correctFull) / float64(total); res.FullAccuracy != want {
+		t.Errorf("full accuracy %v != naive recomputation %v", res.FullAccuracy, want)
+	}
+
+	forwards := (after.ParallelForwards + after.SequentialForwards) -
+		(before.ParallelForwards + before.SequentialForwards)
+	if max := int64(2*nBatches + 2); forwards > max {
+		t.Errorf("Evaluate ran %d forwards, want ≤ %d (2 per batch + 2 cost-model compilations)", forwards, max)
 	}
 }
 

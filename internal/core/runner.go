@@ -5,17 +5,16 @@ package core
 
 import (
 	"context"
-	"fmt"
 
 	"math"
 
-	"mmbench/internal/data"
 	"mmbench/internal/device"
 	"mmbench/internal/engine"
 	"mmbench/internal/memprof"
 	"mmbench/internal/mmnet"
 	"mmbench/internal/obs"
 	"mmbench/internal/ops"
+	"mmbench/internal/plan"
 	"mmbench/internal/precision"
 	"mmbench/internal/tensor"
 	"mmbench/internal/trace"
@@ -153,84 +152,79 @@ func Run(n *mmnet.Network, opts RunOptions) (res *RunResult, err error) {
 
 	builder := trace.NewBuilder(opts.Device, n.Modalities)
 
-	// Per-batch framework setup (data loader iteration, batch assembly)
-	// is shared across modalities — uni- and multi-modal variants pay it
-	// once.
-	builder.Host("batch_setup", 0, 0, 8)
-
-	// End-to-end input pipeline: every modality's raw capture is loaded,
-	// decoded/preprocessed on the CPU and copied to the device. The paper
-	// insists on including this (its end-to-end design principle).
-	for _, m := range n.Modalities {
-		spec, ok := n.Gen.SpecByName(m)
-		if !ok {
-			return nil, fmt.Errorf("core: modality %q missing from generator", m)
-		}
-		builder.SetScope(mmnet.StageEncoder, m)
-		raw := spec.RawBytes * int64(opts.BatchSize)
-		// Decode + normalize ≈ a few passes over the raw bytes.
-		builder.Host("load+preprocess:"+m, raw, 3*raw, 3)
-		var devBytes int64
-		if spec.Kind == data.Dense {
-			devBytes = int64(spec.ElemsPerSample()) * 4 * int64(opts.BatchSize)
-		} else {
-			devBytes = int64(spec.Shape[0]) * 4 * int64(opts.BatchSize)
-		}
-		builder.Transfer("h2d:"+m, devBytes)
-	}
-
-	var batch *data.Batch
-	if opts.Eager {
-		batch = n.Gen.Batch(tensor.NewRNG(opts.Seed), opts.BatchSize)
-	} else {
-		batch = n.Gen.AbstractBatch(opts.BatchSize)
-	}
-
-	c := &ops.Ctx{
-		Rec:                builder,
-		Eng:                opts.Engine,
-		UnfusedAttention:   opts.UnfusedAttention,
-		SequentialBranches: opts.SequentialBranches,
-		Precision:          opts.Precision,
-	}
-	if opts.Profiler != nil && opts.Eager {
-		c.Prof = opts.Profiler.Root()
-	}
-	out := n.Forward(c, batch)
-
-	// Under a low-precision policy an eager run also executes the f32
-	// reference forward (unrecorded, so the trace prices only the
-	// policy run) and reports the output error against it — the
-	// accuracy-delta axis of a mixed-precision sweep.
+	var out *ops.Var
 	var errMax, errMean float64
-	if opts.Eager && !opts.Precision.AllF32() {
-		ref := n.Forward(&ops.Ctx{
+	profiled := false
+	if opts.Eager {
+		// Eager runs walk the plan's event schedule live: the prologue
+		// and epilogue come from the plan package (the same emission the
+		// compiler captures), and the forward drives the builder while
+		// executing real numerics.
+		if err := plan.Prologue(builder, n, opts.BatchSize); err != nil {
+			return nil, err
+		}
+		batch := n.Gen.Batch(tensor.NewRNG(opts.Seed), opts.BatchSize)
+		c := &ops.Ctx{
+			Rec:                builder,
 			Eng:                opts.Engine,
 			UnfusedAttention:   opts.UnfusedAttention,
 			SequentialBranches: opts.SequentialBranches,
-		}, batch)
-		errMax, errMean = outputError(out, ref)
-	}
+			Precision:          opts.Precision,
+		}
+		if opts.Profiler != nil {
+			c.Prof = opts.Profiler.Root()
+			profiled = true
+		}
+		out = n.Forward(c, batch)
 
-	// Final abort checkpoint: a cancellation that fired after the last
-	// stage boundary left garbage in the outputs (skipped chunks), so the
-	// run must not be reported as a result.
-	if cancelFlag.Cancelled() {
-		return nil, cancelFlag.Reason()
-	}
+		// Under a low-precision policy an eager run also executes the f32
+		// reference forward (unrecorded, so the trace prices only the
+		// policy run) and reports the output error against it — the
+		// accuracy-delta axis of a mixed-precision sweep.
+		if !opts.Precision.AllF32() {
+			ref := n.Forward(&ops.Ctx{
+				Eng:                opts.Engine,
+				UnfusedAttention:   opts.UnfusedAttention,
+				SequentialBranches: opts.SequentialBranches,
+			}, batch)
+			errMax, errMean = outputError(out, ref)
+		}
 
-	// Results return to the host.
-	builder.SetScope(mmnet.StageHead, "")
-	builder.Transfer("d2h:output", out.Value.Bytes())
-	builder.Host("postprocess", 0, out.Value.Bytes(), 1)
-	builder.SetScope("", "")
+		// Final abort checkpoint: a cancellation that fired after the last
+		// stage boundary left garbage in the outputs (skipped chunks), so the
+		// run must not be reported as a result.
+		if cancelFlag.Cancelled() {
+			return nil, cancelFlag.Reason()
+		}
+		plan.Epilogue(builder, out.Value.Bytes())
+	} else {
+		// Analytic runs compile the network into an explicit stage plan —
+		// the captured event sequence of one abstract forward — and replay
+		// it into the trace builder. The replayed trace is byte-identical
+		// to driving the builder live.
+		p, err := plan.Compile(n, plan.Options{
+			BatchSize:          opts.BatchSize,
+			Precision:          opts.Precision,
+			Engine:             opts.Engine,
+			UnfusedAttention:   opts.UnfusedAttention,
+			SequentialBranches: opts.SequentialBranches,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cancelFlag.Cancelled() {
+			return nil, cancelFlag.Reason()
+		}
+		p.Replay(builder)
+		out = p.Output
+	}
 
 	tr := builder.Finish()
 	mem := memprof.Measure(n, tr, opts.BatchSize)
 	latency := tr.Wall * opts.Device.CapacityPenalty(mem.AllocatorDemand())
 
 	var stageSec map[string]float64
-	if c.Prof != nil {
+	if profiled {
 		stageSec = opts.Profiler.StageWall()
 		// Feed the process-wide per-stage histograms here — on real
 		// executions only, so cache hits never double-observe.

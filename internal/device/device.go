@@ -80,6 +80,11 @@ type Profile struct {
 	HostMemGBs float64
 	HostOpUs   float64 // framework/runtime overhead per host-side operation
 
+	// TDPWatts is the board-level thermal design power, the energy
+	// proxy's power term (busy seconds × TDP). Zero means unknown; the
+	// fleet placement planner requires it, Validate does not.
+	TDPWatts float64
+
 	// Per-kernel-class achievable fraction of peak compute.
 	ComputeEff [kernels.NumClasses]float64
 
@@ -151,6 +156,7 @@ func RTX2080Ti() *Profile {
 		HostGFLOPS:       60,
 		HostMemGBs:       100,
 		HostOpUs:         25,
+		TDPWatts:         250,
 		ComputeEff:       defaultComputeEff(),
 		Stalls:           StallWeights{CacheShare: 0.35, ExecShare: 0.45, PipeShare: 0.30, InstShare: 0.10},
 	}
@@ -178,6 +184,7 @@ func JetsonNano() *Profile {
 		HostGFLOPS: 4,
 		HostMemGBs: 10,
 		HostOpUs:   110, // ARM A57 Python dispatch is ~4-5x slower than Xeon
+		TDPWatts:   10,
 		ComputeEff: scaledComputeEff(0.42),
 		Stalls:     StallWeights{CacheShare: 0.20, ExecShare: 0.55, PipeShare: 0.15, InstShare: 0.30},
 	}
@@ -200,8 +207,35 @@ func JetsonOrin() *Profile {
 		HostGFLOPS:       30,
 		HostMemGBs:       50,
 		HostOpUs:         45,
+		TDPWatts:         40,
 		ComputeEff:       scaledComputeEff(0.8),
 		Stalls:           StallWeights{CacheShare: 0.25, ExecShare: 0.50, PipeShare: 0.20, InstShare: 0.18},
+	}
+}
+
+// MobileSoC models a phone-class SoC GPU (Adreno/Mali tier): a few
+// compute units on LPDDR5 shared with the CPU, heavyweight runtime
+// dispatch, and a mobile thermal envelope. It rounds out the fleet's
+// device spectrum (EmBench's commodity-device axis) below the Jetsons.
+func MobileSoC() *Profile {
+	return &Profile{
+		Name:             "mobile",
+		SMs:              2,
+		PeakGFLOPS:       900,
+		DRAMBandwidthGBs: 51.2,
+		L2Bytes:          1 * 1024 * 1024,
+		MaxThreadsPerSM:  1024,
+		IssueWidth:       2,
+		KernelLaunchUs:   18,
+		Unified:          true,
+		MemCapacity:      8 << 30,
+		AllocPool:        3 << 30,
+		HostGFLOPS:       12,
+		HostMemGBs:       25,
+		HostOpUs:         70,
+		TDPWatts:         6,
+		ComputeEff:       scaledComputeEff(0.5),
+		Stalls:           StallWeights{CacheShare: 0.22, ExecShare: 0.52, PipeShare: 0.18, InstShare: 0.26},
 	}
 }
 
@@ -214,13 +248,15 @@ func ByName(name string) (*Profile, error) {
 		return JetsonNano(), nil
 	case "orin":
 		return JetsonOrin(), nil
+	case "mobile":
+		return MobileSoC(), nil
 	}
-	return nil, fmt.Errorf("device: unknown profile %q (want 2080ti, nano or orin)", name)
+	return nil, fmt.Errorf("device: unknown profile %q (want 2080ti, nano, orin or mobile)", name)
 }
 
 // Profiles returns all built-in profiles.
 func Profiles() []*Profile {
-	return []*Profile{RTX2080Ti(), JetsonNano(), JetsonOrin()}
+	return []*Profile{RTX2080Ti(), JetsonNano(), JetsonOrin(), MobileSoC()}
 }
 
 // Metrics is the modeled counterpart of an Nsight Compute per-kernel report.

@@ -1,0 +1,114 @@
+package device
+
+import "fmt"
+
+// Link is one bidirectional interconnect between two fleet devices:
+// bandwidth plus a fixed per-message latency. Links model the network
+// a distributed deployment pays when a stage's activation crosses
+// device boundaries — Ethernet between the server and the Jetsons,
+// WiFi out to the mobile SoC.
+type Link struct {
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	GBs       float64 `json:"gbs"`
+	LatencyUs float64 `json:"latency_us"`
+}
+
+// Fleet is a set of named device profiles joined by interconnect
+// links — the heterogeneous deployment the placement planner assigns
+// stage nodes onto.
+type Fleet struct {
+	Devices []*Profile `json:"devices"`
+	Links   []Link     `json:"links"`
+}
+
+// DefaultFleet is the built-in four-device deployment: the GPU server,
+// both Jetsons on the server's wired LAN, and the mobile SoC reachable
+// only over a slow wireless hop. Bandwidths are deliberately far below
+// PCIe so edge-transfer cost is a real axis of the placement trade.
+func DefaultFleet() *Fleet {
+	return &Fleet{
+		Devices: Profiles(),
+		Links: []Link{
+			// Server ↔ Orin: 10 GbE-class wired link.
+			{A: "2080ti", B: "orin", GBs: 1.25, LatencyUs: 100},
+			// Server/Orin ↔ Nano: the Nano's gigabit NIC caps the path.
+			{A: "2080ti", B: "nano", GBs: 0.117, LatencyUs: 200},
+			{A: "orin", B: "nano", GBs: 0.117, LatencyUs: 200},
+			// Anything ↔ mobile: wireless, high latency, ~400 Mbit/s.
+			{A: "2080ti", B: "mobile", GBs: 0.05, LatencyUs: 2000},
+			{A: "orin", B: "mobile", GBs: 0.05, LatencyUs: 2000},
+			{A: "nano", B: "mobile", GBs: 0.05, LatencyUs: 2000},
+		},
+	}
+}
+
+// Validate reports whether every profile is usable (with a known TDP
+// for the energy proxy) and every link joins two known devices with
+// positive bandwidth.
+func (f *Fleet) Validate() error {
+	if len(f.Devices) == 0 {
+		return fmt.Errorf("device: fleet has no devices")
+	}
+	names := make(map[string]bool, len(f.Devices))
+	for _, d := range f.Devices {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		if d.TDPWatts <= 0 {
+			return fmt.Errorf("device %s: fleet profile needs TDPWatts", d.Name)
+		}
+		if names[d.Name] {
+			return fmt.Errorf("device: duplicate fleet device %q", d.Name)
+		}
+		names[d.Name] = true
+	}
+	for _, l := range f.Links {
+		if !names[l.A] || !names[l.B] {
+			return fmt.Errorf("device: link %s<->%s references unknown device", l.A, l.B)
+		}
+		if l.GBs <= 0 {
+			return fmt.Errorf("device: link %s<->%s has non-positive bandwidth", l.A, l.B)
+		}
+	}
+	return nil
+}
+
+// Device returns the fleet profile with the given name, or nil.
+func (f *Fleet) Device(name string) *Profile {
+	for _, d := range f.Devices {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// LinkBetween returns the link joining two devices (order-insensitive),
+// or nil for same-device or unlinked pairs.
+func (f *Fleet) LinkBetween(a, b string) *Link {
+	if a == b {
+		return nil
+	}
+	for i := range f.Links {
+		l := &f.Links[i]
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			return l
+		}
+	}
+	return nil
+}
+
+// TransferSeconds models moving n bytes from device a to device b:
+// free within a device, bandwidth plus fixed latency across a link.
+// Pairs with no link report an error.
+func (f *Fleet) TransferSeconds(a, b string, bytes int64) (float64, error) {
+	if a == b {
+		return 0, nil
+	}
+	l := f.LinkBetween(a, b)
+	if l == nil {
+		return 0, fmt.Errorf("device: no link between %q and %q", a, b)
+	}
+	return float64(bytes)/(l.GBs*1e9) + l.LatencyUs*1e-6, nil
+}

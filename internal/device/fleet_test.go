@@ -1,0 +1,130 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultFleetValid(t *testing.T) {
+	f := DefaultFleet()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Devices) != 4 {
+		t.Fatalf("%d devices, want 4", len(f.Devices))
+	}
+	for _, name := range []string{"2080ti", "nano", "orin", "mobile"} {
+		d := f.Device(name)
+		if d == nil {
+			t.Fatalf("fleet missing %s", name)
+		}
+		if d.TDPWatts <= 0 {
+			t.Errorf("%s TDPWatts %v, want > 0", name, d.TDPWatts)
+		}
+	}
+	if f.Device("bogus") != nil {
+		t.Error("unknown device resolved")
+	}
+	// The default fleet is fully connected: every distinct pair must
+	// price a transfer.
+	for _, a := range f.Devices {
+		for _, b := range f.Devices {
+			if a.Name == b.Name {
+				continue
+			}
+			if _, err := f.TransferSeconds(a.Name, b.Name, 1<<20); err != nil {
+				t.Errorf("no path %s→%s: %v", a.Name, b.Name, err)
+			}
+		}
+	}
+}
+
+func TestLinkBetweenOrderInsensitive(t *testing.T) {
+	f := DefaultFleet()
+	ab := f.LinkBetween("2080ti", "orin")
+	ba := f.LinkBetween("orin", "2080ti")
+	if ab == nil || ba == nil || ab != ba {
+		t.Fatalf("link lookup not order-insensitive: %v vs %v", ab, ba)
+	}
+	if f.LinkBetween("orin", "orin") != nil {
+		t.Error("self-link resolved")
+	}
+}
+
+func TestFleetTransferSeconds(t *testing.T) {
+	f := DefaultFleet()
+	// Same device: free.
+	if sec, err := f.TransferSeconds("orin", "orin", 1<<30); err != nil || sec != 0 {
+		t.Fatalf("same-device transfer = %v, %v; want 0, nil", sec, err)
+	}
+	// Cross device: bandwidth term plus latency floor.
+	l := f.LinkBetween("2080ti", "orin")
+	bytes := int64(10 << 20)
+	want := float64(bytes)/(l.GBs*1e9) + l.LatencyUs*1e-6
+	got, err := f.TransferSeconds("2080ti", "orin", bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("transfer %v, want %v", got, want)
+	}
+	// Zero bytes still pays the link latency.
+	if sec, _ := f.TransferSeconds("2080ti", "nano", 0); sec <= 0 {
+		t.Errorf("zero-byte cross-device transfer = %v, want latency floor", sec)
+	}
+	// Unknown endpoint errors.
+	if _, err := f.TransferSeconds("2080ti", "bogus", 1); err == nil {
+		t.Error("transfer to unknown device accepted")
+	}
+}
+
+func TestFleetValidateRejects(t *testing.T) {
+	base := func() *Fleet { return DefaultFleet() }
+
+	f := base()
+	f.Devices = append(f.Devices, RTX2080Ti())
+	if err := f.Validate(); err == nil {
+		t.Error("duplicate device name accepted")
+	}
+
+	f = base()
+	f.Links = append(f.Links, Link{A: "2080ti", B: "missing", GBs: 1})
+	if err := f.Validate(); err == nil {
+		t.Error("link to unknown device accepted")
+	}
+
+	f = base()
+	f.Links[0].GBs = 0
+	if err := f.Validate(); err == nil {
+		t.Error("zero-bandwidth link accepted")
+	}
+
+	f = base()
+	f.Devices[0].TDPWatts = 0
+	if err := f.Validate(); err == nil {
+		t.Error("zero-TDP profile accepted")
+	}
+}
+
+func TestMobileSoCProfile(t *testing.T) {
+	m := MobileSoC()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ByName("mobile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "mobile" {
+		t.Fatalf("ByName(mobile) = %s", got.Name)
+	}
+	if len(Profiles()) != 4 {
+		t.Fatalf("%d profiles, want 4", len(Profiles()))
+	}
+	// The phone SoC sits below the Jetsons on both compute and power.
+	orin := JetsonOrin()
+	if m.PeakGFLOPS >= orin.PeakGFLOPS || m.TDPWatts >= orin.TDPWatts {
+		t.Errorf("mobile (%v GFLOPS, %v W) not below orin (%v GFLOPS, %v W)",
+			m.PeakGFLOPS, m.TDPWatts, orin.PeakGFLOPS, orin.TDPWatts)
+	}
+}

@@ -26,6 +26,45 @@ const (
 // Stages lists the three stages in execution order.
 func Stages() []string { return []string{StageEncoder, StageFusion, StageHead} }
 
+// StageNode is one node of a network's stage plan: an encoder branch
+// (one per modality), the fusion join, or the task head. The node list
+// is the execution-order walk of the stage DAG — encoder nodes are
+// mutually independent and may run concurrently, fusion depends on
+// every encoder, head depends on fusion. internal/plan compiles the
+// same nodes into a priced Plan (kernel specs, byte footprints, edge
+// sizes) and internal/place assigns them to fleet devices.
+type StageNode struct {
+	// Stage is StageEncoder, StageFusion or StageHead.
+	Stage string
+	// Modality names the encoder branch; empty for fusion and head.
+	Modality string
+	// Key is the node's stable identifier: "encoder:<modality>",
+	// "fusion" or "head" — the keys placement policies address.
+	Key string
+}
+
+// NodeKey builds the stable node identifier for a stage scope.
+func NodeKey(stage, modality string) string {
+	if stage == StageEncoder && modality != "" {
+		return StageEncoder + ":" + modality
+	}
+	return stage
+}
+
+// StageNodes returns the network's stage plan in execution order: one
+// encoder node per modality, then fusion, then head. Forward walks
+// exactly this node list.
+func (n *Network) StageNodes() []StageNode {
+	nodes := make([]StageNode, 0, len(n.Modalities)+2)
+	for _, m := range n.Modalities {
+		nodes = append(nodes, StageNode{Stage: StageEncoder, Modality: m, Key: NodeKey(StageEncoder, m)})
+	}
+	nodes = append(nodes,
+		StageNode{Stage: StageFusion, Key: StageFusion},
+		StageNode{Stage: StageHead, Key: StageHead})
+	return nodes
+}
+
 // Scoper is implemented by recorders that attribute kernels to a stage and
 // modality (trace.Builder implements it).
 type Scoper interface {
@@ -133,28 +172,42 @@ func (n *Network) Forward(c *ops.Ctx, b *data.Batch) *ops.Var {
 	// panics: a recovered benchmark run must not attribute later kernels
 	// to this network's last (stage, modality) scope.
 	defer setScope(c, "", "")
+	nodes := n.StageNodes()
+	// The encoder prefix of the node list is mutually independent, so it
+	// runs through the branch executor (concurrent by default, with
+	// deterministic fixed-order join).
 	feats := n.encodeBranches(c, b)
-	setScope(c, StageFusion, "")
-	if c.Rec != nil {
-		if bar, ok := c.Rec.(Barrierer); ok {
-			bar.Barrier("modality_sync")
-		}
-		for i, f := range feats {
-			// Cross-modal gathers: aligning, padding and copying each
-			// learned representation costs runtime work that grows with
-			// the number of modalities being joined — the paper's
-			// "lengthy intermediate data operations" that can even
-			// outweigh GPU computation.
-			c.Rec.Host("gather:"+n.Modalities[i], 0, f.Value.Bytes(), 2+8*len(feats))
+	var fused, out *ops.Var
+	for _, node := range nodes[len(n.Encoders):] {
+		switch node.Stage {
+		case StageFusion:
+			setScope(c, StageFusion, "")
+			if c.Rec != nil {
+				if bar, ok := c.Rec.(Barrierer); ok {
+					bar.Barrier("modality_sync")
+				}
+				for i, f := range feats {
+					// Cross-modal gathers: aligning, padding and copying each
+					// learned representation costs runtime work that grows with
+					// the number of modalities being joined — the paper's
+					// "lengthy intermediate data operations" that can even
+					// outweigh GPU computation. In the stage plan these are the
+					// encoder→fusion edges.
+					c.Rec.Host("gather:"+n.Modalities[i], 0, f.Value.Bytes(), 2+8*len(feats))
+				}
+			}
+			fused = n.Fusion.Fuse(c, feats)
+		case StageHead:
+			setScope(c, StageHead, "")
+			if c.Rec != nil {
+				// Fused representation handoff to the head — the fusion→head
+				// edge of the stage plan (one host-side op).
+				c.Rec.Host("stage_handoff", 0, fused.Value.Bytes(), 1)
+			}
+			out = n.Head.Forward(c, fused)
 		}
 	}
-	fused := n.Fusion.Fuse(c, feats)
-	setScope(c, StageHead, "")
-	if c.Rec != nil {
-		// Fused representation handoff to the head (one host-side op).
-		c.Rec.Host("stage_handoff", 0, fused.Value.Bytes(), 1)
-	}
-	return n.Head.Forward(c, fused)
+	return out
 }
 
 // Loss computes the task loss for a forward output.

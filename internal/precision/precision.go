@@ -15,7 +15,10 @@
 // bitwise-determinism contract unchanged.
 package precision
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Type is a storage/arithmetic precision for one network stage.
 type Type uint8
@@ -50,6 +53,26 @@ func (t Type) Bits() int {
 	default:
 		return 32
 	}
+}
+
+// MarshalJSON renders the precision as its flag-syntax name, so API
+// payloads carry "f16" rather than an enum ordinal.
+func (t Type) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the flag-syntax names ParseType understands.
+func (t *Type) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	v, ok := ParseType(s)
+	if !ok && s != "" {
+		return fmt.Errorf("precision: unknown precision %q", s)
+	}
+	*t = v
+	return nil
 }
 
 // ParseType parses a precision name ("f32", "f16" or "i8").

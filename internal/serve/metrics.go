@@ -31,6 +31,7 @@ import (
 //	mmbench_branches_*         branch-executor counters
 //	mmbench_precision_*        low-precision kernel counters
 //	mmbench_resilience_*       shed/cancel/panic/quarantine counters
+//	mmbench_place_*            fleet-placement request and chosen-device counters
 //	mmbench_faults_injected_total     fault-injection firings, {site}
 //	mmbench_service_latency_seconds   /v1/run latency histogram
 //	mmbench_queue_wait_seconds        scheduler queue-wait histogram
@@ -107,6 +108,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, site := range faultinject.Sites() {
 			m.labeled("mmbench_faults_injected_total",
 				fmt.Sprintf("site=%q", string(site)), float64(faultinject.Fired(site)))
+		}
+	}
+
+	fl := s.fleetStats()
+	m.counter("mmbench_place_requests_total", "Fleet-placement searches served via /v1/place.", float64(fl.PlaceRequests))
+	if len(fl.ChosenDevices) > 0 {
+		devs := make([]string, 0, len(fl.ChosenDevices))
+		for d := range fl.ChosenDevices {
+			devs = append(devs, d)
+		}
+		sort.Strings(devs)
+		m.head("mmbench_place_chosen_device_total", "Stage nodes assigned per device across best placements.", "counter")
+		for _, d := range devs {
+			m.labeled("mmbench_place_chosen_device_total", `device="`+d+`"`, float64(fl.ChosenDevices[d]))
 		}
 	}
 

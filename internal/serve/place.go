@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"net/http"
+
+	"mmbench"
+)
+
+// PlaceRequest is the POST /v1/place body. PaperScale defaults to true,
+// matching /v1/run.
+type PlaceRequest struct {
+	Workload   string   `json:"workload"`
+	Variant    string   `json:"variant,omitempty"`
+	Batch      int      `json:"batch,omitempty"`
+	PaperScale *bool    `json:"paper_scale,omitempty"`
+	SLOMs      float64  `json:"slo_ms,omitempty"`
+	Precisions []string `json:"precisions,omitempty"`
+	Top        int      `json:"top,omitempty"`
+}
+
+// handlePlace runs a fleet-placement search synchronously (the search
+// is an analytic enumeration — no eager kernels, no scheduler slot) and
+// returns the mmbench.PlaceReport: the compiled stage plan, the
+// single-device baselines and the latency/energy/error frontier.
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	var req PlaceRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeDecodeErr(w, r, "place", err)
+		return
+	}
+	rep, err := mmbench.Place(mmbench.PlaceConfig{
+		Workload:   req.Workload,
+		Variant:    req.Variant,
+		Batch:      req.Batch,
+		Paper:      req.PaperScale,
+		SLOMs:      req.SLOMs,
+		Precisions: req.Precisions,
+		Top:        req.Top,
+	})
+	if err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.fleetMu.Lock()
+	s.placeRequests++
+	if len(rep.Frontier) > 0 {
+		for _, a := range rep.Frontier[0].Placement {
+			s.placeChosen[a.Device]++
+		}
+	}
+	s.fleetMu.Unlock()
+
+	s.writeJSON(w, r, http.StatusOK, rep)
+}
+
+// FleetStats is the "fleet" block of /v1/stats.
+type FleetStats struct {
+	// PlaceRequests counts completed /v1/place searches.
+	PlaceRequests uint64 `json:"place_requests"`
+	// ChosenDevices histograms, per fleet device, how many stage nodes
+	// the best placement of each search assigned to it.
+	ChosenDevices map[string]uint64 `json:"chosen_devices"`
+}
+
+// fleetStats snapshots the placement counters.
+func (s *Server) fleetStats() FleetStats {
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	chosen := make(map[string]uint64, len(s.placeChosen))
+	for d, n := range s.placeChosen {
+		chosen[d] = n
+	}
+	return FleetStats{PlaceRequests: s.placeRequests, ChosenDevices: chosen}
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestPlaceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var out struct {
+		Workload string `json:"workload"`
+		Nodes    []struct {
+			Key     string `json:"key"`
+			Kernels int    `json:"kernels"`
+		} `json:"nodes"`
+		Frontier []struct {
+			LatencyMs float64                      `json:"latency_ms"`
+			Feasible  bool                         `json:"feasible"`
+			Placement map[string]map[string]string `json:"placement"`
+			Stages    []struct {
+				Stage string  `json:"stage"`
+				Ms    float64 `json:"ms"`
+			} `json:"stages"`
+		} `json:"frontier"`
+		Baselines []struct {
+			LatencyMs float64 `json:"latency_ms"`
+		} `json:"baselines"`
+		Evaluated int `json:"evaluated"`
+	}
+	resp := postJSON(t, ts.URL+"/v1/place", `{"workload":"avmnist","batch":16,"paper_scale":false,"top":4}`, &out)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Workload != "avmnist" || len(out.Nodes) != 4 || out.Evaluated == 0 {
+		t.Fatalf("bad report: workload %q, %d nodes, %d evaluated", out.Workload, len(out.Nodes), out.Evaluated)
+	}
+	if len(out.Frontier) == 0 || len(out.Baselines) != 4 {
+		t.Fatalf("frontier %d, baselines %d", len(out.Frontier), len(out.Baselines))
+	}
+	best := out.Frontier[0]
+	if best.LatencyMs <= 0 || !best.Feasible || len(best.Placement) != 4 || len(best.Stages) != 4 {
+		t.Fatalf("bad best candidate: %+v", best)
+	}
+	for key, a := range best.Placement {
+		if a["device"] == "" || a["precision"] == "" {
+			t.Errorf("node %s assignment incomplete: %v", key, a)
+		}
+	}
+
+	// Unknown workloads are a client error, not a 500.
+	resp = postJSON(t, ts.URL+"/v1/place", `{"workload":"nope"}`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown workload: status %d", resp.StatusCode)
+	}
+
+	// The search shows up in /v1/stats' fleet block...
+	var stats struct {
+		Fleet struct {
+			PlaceRequests uint64            `json:"place_requests"`
+			ChosenDevices map[string]uint64 `json:"chosen_devices"`
+		} `json:"fleet"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Fleet.PlaceRequests != 1 {
+		t.Errorf("place_requests %d, want 1", stats.Fleet.PlaceRequests)
+	}
+	var chosen uint64
+	for _, n := range stats.Fleet.ChosenDevices {
+		chosen += n
+	}
+	if chosen != 4 {
+		t.Errorf("chosen-device histogram totals %d stage nodes, want 4: %v", chosen, stats.Fleet.ChosenDevices)
+	}
+
+	// ...and in the Prometheus families.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "mmbench_place_requests_total 1") {
+		t.Error("mmbench_place_requests_total missing or wrong")
+	}
+	if !strings.Contains(text, `mmbench_place_chosen_device_total{device=`) {
+		t.Error("mmbench_place_chosen_device_total series missing")
+	}
+}

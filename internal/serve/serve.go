@@ -83,6 +83,13 @@ type Server struct {
 	// truncated write, unencodable value) so they are observable in
 	// /v1/stats instead of silently dropped.
 	encodeErrors atomic.Uint64
+
+	// fleetMu guards the placement counters: /v1/place requests served
+	// and, per fleet device, how many stage nodes each search's best
+	// placement assigned to it.
+	fleetMu       sync.Mutex
+	placeRequests uint64
+	placeChosen   map[string]uint64
 }
 
 // New builds a server with its own scheduler and cache.
@@ -106,11 +113,13 @@ func New(opts Options) *Server {
 		workers:          opts.Workers,
 		quar:             newQuarantine(opts.QuarantineThreshold),
 		est:              newCostEstimator(),
+		placeChosen:      make(map[string]uint64),
 	}
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -201,7 +210,12 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 	s.countRequest()
-	s.writeJSON(w, r, http.StatusOK, map[string]any{"devices": mmbench.Devices()})
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
+		"devices": mmbench.Devices(),
+		// The fleet topology: full device profiles plus the interconnect
+		// links the placement planner charges edge transfers on.
+		"fleet": mmbench.Fleet(),
+	})
 }
 
 // RunRequest is the POST /v1/run body. PaperScale defaults to true (the
@@ -468,6 +482,9 @@ type Stats struct {
 	// Resilience reports load shedding, cancellation, panic recovery and
 	// quarantine — the overload-resilience counters.
 	Resilience ResilienceStats `json:"resilience"`
+	// Fleet reports placement-planner activity: /v1/place requests and
+	// the chosen-device histogram across best placements.
+	Fleet FleetStats `json:"fleet"`
 }
 
 // LatencyStats are streaming percentiles over every /v1/run since
@@ -623,6 +640,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			PrecisionActivity: ops.PrecisionStats(),
 		},
 		Resilience: s.resilienceStats(),
+		Fleet:      s.fleetStats(),
 		Jobs: map[string]int{
 			"queued":  counts.Queued,
 			"running": counts.Running,

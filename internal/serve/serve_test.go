@@ -75,10 +75,29 @@ func TestWorkloadsAndDevices(t *testing.T) {
 
 	var devs struct {
 		Devices []string `json:"devices"`
+		Fleet   struct {
+			Devices []struct {
+				Name     string  `json:"Name"`
+				TDPWatts float64 `json:"TDPWatts"`
+			} `json:"devices"`
+			Links []struct {
+				A   string  `json:"a"`
+				B   string  `json:"b"`
+				GBs float64 `json:"gbs"`
+			} `json:"links"`
+		} `json:"fleet"`
 	}
 	getJSON(t, ts.URL+"/v1/devices", &devs)
-	if len(devs.Devices) != 3 {
+	if len(devs.Devices) != 4 {
 		t.Fatalf("devices %v", devs.Devices)
+	}
+	if len(devs.Fleet.Devices) != 4 || len(devs.Fleet.Links) == 0 {
+		t.Fatalf("fleet topology missing: %+v", devs.Fleet)
+	}
+	for _, l := range devs.Fleet.Links {
+		if l.GBs <= 0 || l.A == "" || l.B == "" {
+			t.Fatalf("bad link %+v", l)
+		}
 	}
 }
 

@@ -19,7 +19,7 @@ func TestWorkloadsComplete(t *testing.T) {
 
 func TestDevicesAndFusions(t *testing.T) {
 	devs := Devices()
-	if len(devs) != 3 {
+	if len(devs) != 4 {
 		t.Fatalf("devices %v", devs)
 	}
 	if len(FusionMethods()) != 8 {
