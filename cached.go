@@ -99,6 +99,36 @@ func (cr *CachedRunner) RunProfiledCtxVia(ctx context.Context, cfg RunConfig, vi
 	return v.rep, v.stageMs, nil
 }
 
+// ExecFn replaces the underlying computation of one cache-missing run:
+// instead of the default RunProfiledCtx, the cache entry comes from
+// exec's result. The continuous batcher rides this — a cache miss is
+// handed to the batcher, which may merge it with other pending misses
+// into one forward; the scattered per-request report then lands in the
+// cache exactly as a standalone execution's would (the bitwise-identity
+// contract makes the two indistinguishable).
+type ExecFn func(ctx context.Context, cfg RunConfig) (*Report, map[string]float64, error)
+
+// RunProfiledCtxThrough is RunProfiledCtx with the computation replaced
+// by exec on cache miss. Cache hits and coalesced identical requests
+// never invoke exec, so the layering is: identical configs coalesce in
+// the cache ABOVE the batcher, and distinct-but-compatible configs merge
+// in the batcher BELOW it. Errors are never cached.
+func (cr *CachedRunner) RunProfiledCtxThrough(ctx context.Context, cfg RunConfig, exec ExecFn) (*Report, map[string]float64, error) {
+	v, err := cr.cache.Do(cfg.cacheKey(), func() (any, int64, error) {
+		rep, stageMs, err := exec(ctx, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		cv := &cachedRun{rep: rep, stageMs: stageMs}
+		return cv, reportBytes(rep), nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cv := v.(*cachedRun)
+	return cv.rep, cv.stageMs, nil
+}
+
 func (cr *CachedRunner) do(ctx context.Context, cfg RunConfig, via func(ComputeFn) (any, error)) (*cachedRun, error) {
 	compute := func(cctx context.Context) (any, error) {
 		// Eager executions are profiled unconditionally (the profiler is
@@ -156,6 +186,19 @@ func (cfg RunConfig) cacheKey() string {
 // regardless of which data seed happened to trigger the fault.
 func (cfg RunConfig) Fingerprint() string {
 	return resultcache.Key(cfg.canonicalFields(false))
+}
+
+// BatchFingerprint canonicalizes the config's *batchable* identity: the
+// fingerprint minus batch size (and seed). Two eager configs with equal
+// batch fingerprints may execute as one merged cross-request forward —
+// everything that shapes the computation graph or its numerics
+// (workload, variant, device, scale flavour, precision policy) matches;
+// only the data (seed) and the sample count differ, which is exactly
+// what RunMergedProfiled concatenates over.
+func (cfg RunConfig) BatchFingerprint() string {
+	m := cfg.canonicalFields(false)
+	delete(m, "batch")
+	return resultcache.Key(m)
 }
 
 func (cfg RunConfig) canonicalFields(includeSeed bool) map[string]string {

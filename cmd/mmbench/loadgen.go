@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"mmbench/internal/loadgen"
+)
+
+// cmdLoadgen drives a live mmbench serve instance with a seeded arrival
+// process and prints the latency/throughput report the batching knobs
+// are tuned against.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "base URL of a running mmbench serve")
+	workload := fs.String("workload", "avmnist", "workload name to request")
+	variant := fs.String("variant", "", "fusion method or uni:<modality> (default: workload's first fusion)")
+	batch := fs.Int("batch", 2, "batch size per request")
+	eager := fs.Bool("eager", true, "request eager execution (only eager requests are batchable server-side)")
+	paper := fs.Bool("paper", true, "use the paper-scale profile flavour")
+	precPolicy := precisionFlag(fs)
+	mode := fs.String("mode", loadgen.ModeOpen, "open (arrival-paced) or closed (fixed-concurrency) loop")
+	qps := fs.Float64("qps", 20, "open-loop target arrival rate")
+	duration := fs.Duration("duration", 10*time.Second, "run length")
+	concurrency := fs.Int("concurrency", 4, "closed-loop worker count")
+	seed := fs.Uint64("seed", 1, "arrival-process seed; also the base of per-request workload seeds")
+	arrival := fs.String("arrival", loadgen.ArrivalPoisson, "open-loop arrival process: poisson or uniform")
+	deadlineMs := fs.Int("deadline-ms", 0, "per-request X-Deadline-Ms header (0 = none)")
+	jsonOut := fs.Bool("json", false, "print the report as JSON instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validatePrecision(*precPolicy); err != nil {
+		return err
+	}
+
+	cfg := loadgen.Config{
+		Mode:        *mode,
+		QPS:         *qps,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Seed:        *seed,
+		Arrival:     *arrival,
+	}
+	target := httpRunTarget(runTargetOptions{
+		url:        *url,
+		workload:   *workload,
+		variant:    *variant,
+		batch:      *batch,
+		eager:      *eager,
+		paper:      *paper,
+		precision:  *precPolicy,
+		seedBase:   int64(*seed),
+		deadlineMs: *deadlineMs,
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rep, err := loadgen.Run(ctx, cfg, target)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Print(rep.Table())
+	return nil
+}
+
+type runTargetOptions struct {
+	url        string
+	workload   string
+	variant    string
+	batch      int
+	eager      bool
+	paper      bool
+	precision  string
+	seedBase   int64
+	deadlineMs int
+}
+
+// httpRunTarget builds the loadgen target that POSTs /v1/run. Each
+// request carries a distinct seed (seedBase+i): identical configs would
+// all hit the server's result cache after the first, and the batcher —
+// the thing being measured — would never see a merge.
+func httpRunTarget(o runTargetOptions) loadgen.Target {
+	client := &http.Client{}
+	endpoint := o.url + "/v1/run"
+	return func(ctx context.Context, i int) error {
+		body, err := json.Marshal(map[string]any{
+			"workload":    o.workload,
+			"variant":     o.variant,
+			"batch":       o.batch,
+			"eager":       o.eager,
+			"paper_scale": o.paper,
+			"precision":   o.precision,
+			"seed":        o.seedBase + int64(i),
+		})
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if o.deadlineMs > 0 {
+			req.Header.Set("X-Deadline-Ms", strconv.Itoa(o.deadlineMs))
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			// Strip the per-request seed from transport errors so the
+			// report's error breakdown aggregates instead of exploding
+			// into one bucket per request.
+			return fmt.Errorf("transport: %w", err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+}

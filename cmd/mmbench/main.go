@@ -10,6 +10,7 @@
 //	mmbench sweep [flags]                sweep batch sizes and devices
 //	mmbench place [flags]                plan stage placement across the fleet
 //	mmbench serve [flags]                run the benchmark HTTP service
+//	mmbench loadgen [flags]              drive a live server with seeded load
 //
 // Run "mmbench <command> -h" for per-command flags.
 package main
@@ -53,6 +54,8 @@ func main() {
 		err = cmdPlace(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -77,7 +80,8 @@ Commands:
   repro       regenerate a table/figure of the paper (or "all")
   sweep       profile a variant across devices and batch sizes
   place       plan stage placement across the heterogeneous fleet
-  serve       run the benchmark-as-a-service HTTP API`)
+  serve       run the benchmark-as-a-service HTTP API
+  loadgen     drive a live server with a seeded SLO-aware load`)
 }
 
 func cmdList() error {

@@ -32,6 +32,10 @@ func cmdServe(args []string) error {
 		"default completion deadline for /v1/run requests (0 = none); clients may lower it per request via X-Deadline-Ms, never raise it")
 	quarThreshold := fs.Int("quarantine-threshold", 3,
 		"panics per workload-config fingerprint before the config is quarantined (422)")
+	maxBatch := fs.Int("max-batch", 256,
+		"continuous batching: max samples one merged cross-request forward may carry (0 = default, negative = disable batching)")
+	batchWindow := fs.Duration("batch-window", 2*time.Millisecond,
+		"continuous batching: how long the first eager request on an idle queue waits for compatible requests to join")
 	faults := fs.String("faults", "",
 		"fault-injection plan, e.g. 'engine.chunk=panic/every=100,jobs.admit=fail/every=10' (testing only; also settable via MMBENCH_FAULTS)")
 	writeTimeout := fs.Duration("write-timeout", 5*time.Minute,
@@ -64,6 +68,8 @@ func cmdServe(args []string) error {
 		Pprof:               *pprofFlag,
 		DefaultDeadline:     *deadline,
 		QuarantineThreshold: *quarThreshold,
+		MaxBatch:            *maxBatch,
+		BatchWindow:         *batchWindow,
 	})
 	// Slow or stalled clients must not pin handler goroutines forever:
 	// bound header/body reads and idle keep-alives tightly. The write

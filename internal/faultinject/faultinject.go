@@ -58,11 +58,16 @@ const (
 	// "panic" simulates a workload whose kernels reliably crash —
 	// the quarantine path's trigger.
 	SiteRunner Site = "runner.run"
+	// SiteBatchMerge fires when the continuous batcher hands a sealed
+	// merged batch to execution: "panic" simulates a merged forward
+	// crashing (every waiter must fail, none may hang, and later batches
+	// must proceed), "delay" a slow merge.
+	SiteBatchMerge Site = "batch.merge"
 )
 
 // Sites lists every compiled-in injection site.
 func Sites() []Site {
-	return []Site{SiteEngineChunk, SiteJobsAdmit, SiteJobsDequeue, SiteRunner}
+	return []Site{SiteEngineChunk, SiteJobsAdmit, SiteJobsDequeue, SiteRunner, SiteBatchMerge}
 }
 
 // Injected is the panic payload of a "panic" rule, so recover handlers

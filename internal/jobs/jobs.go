@@ -233,6 +233,12 @@ type Pool struct {
 	shedShutdown    atomic.Int64
 	cancelled       atomic.Int64
 	panicsRecovered atomic.Int64
+
+	// clock drives queue-wait measurement and deadline checks. Tests in
+	// this package swap in an obs.FakeClock (before submitting anything)
+	// to assert exact waits instead of sleeping; the record timestamps on
+	// Job (created display aside, started/finished) stay on real time.
+	clock obs.Clock
 }
 
 // Resilience snapshots the pool's shed/cancel/panic counters.
@@ -261,6 +267,7 @@ func NewPool(workers, queueCap int) *Pool {
 	p := &Pool{
 		queue: make(chan task, queueCap),
 		jobs:  make(map[string]*Job),
+		clock: obs.RealClock(),
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -290,7 +297,7 @@ func (p *Pool) worker() {
 			t.job.shed(t.ctx.Err())
 			p.retire(t.job)
 			continue
-		case !t.deadline.IsZero() && !time.Now().Before(t.deadline):
+		case !t.deadline.IsZero() && !p.clock.Now().Before(t.deadline):
 			p.shedExpired.Add(1)
 			t.job.shed(ErrDeadline)
 			p.retire(t.job)
@@ -298,7 +305,7 @@ func (p *Pool) worker() {
 		}
 		// created is immutable after newJob and the channel receive
 		// orders it before this read.
-		wait := time.Since(t.job.created)
+		wait := p.clock.Since(t.job.created)
 		p.waitMu.Lock()
 		p.waitHist.Observe(wait.Seconds())
 		p.waitMu.Unlock()
@@ -375,7 +382,7 @@ func (p *Pool) newJob() (*Job, error) {
 		id:      fmt.Sprintf("job-%06d", p.seq),
 		done:    make(chan struct{}),
 		status:  StatusQueued,
-		created: time.Now(),
+		created: p.clock.Now(),
 	}
 	p.jobs[j.id] = j
 	return j, nil
@@ -402,7 +409,7 @@ func (p *Pool) SubmitCtx(ctx context.Context, opts SubmitOptions, fn CtxFn) (*Jo
 		return nil, ErrQueueFull
 	}
 	if !opts.Deadline.IsZero() {
-		remain := time.Until(opts.Deadline)
+		remain := opts.Deadline.Sub(p.clock.Now())
 		if remain <= 0 {
 			p.shedExpired.Add(1)
 			return nil, ErrDeadline

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"mmbench/internal/obs"
 )
 
 func TestSubmitAndWait(t *testing.T) {
@@ -348,6 +350,10 @@ func TestSubmitCtxShedsUnfittableCost(t *testing.T) {
 func TestDequeueShedsExpiredJob(t *testing.T) {
 	p := NewPool(1, 4)
 	defer p.Shutdown(context.Background())
+	// The deadline machinery runs on the pool's injectable clock, so the
+	// expiry is stepped explicitly instead of slept for.
+	clock := obs.NewFakeClock(time.Unix(0, 0))
+	p.clock = clock
 
 	// Wedge the single worker so the second job's deadline expires in
 	// the queue.
@@ -361,7 +367,7 @@ func TestDequeueShedsExpiredJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-started
-	opts := SubmitOptions{Deadline: time.Now().Add(10 * time.Millisecond)}
+	opts := SubmitOptions{Deadline: clock.Now().Add(10 * time.Millisecond)}
 	j, err := p.SubmitCtx(context.Background(), opts, func(context.Context) (any, error) {
 		t.Error("expired job ran")
 		return nil, nil
@@ -369,7 +375,7 @@ func TestDequeueShedsExpiredJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	clock.Advance(20 * time.Millisecond) // the deadline passes while queued
 	close(release)
 	if _, err := j.Wait(context.Background()); !errors.Is(err, ErrDeadline) {
 		t.Fatalf("err %v, want ErrDeadline", err)

@@ -4,6 +4,9 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
+
+	"mmbench/internal/obs"
 )
 
 func TestQueueWaitHistogram(t *testing.T) {
@@ -43,6 +46,49 @@ func TestQueueWaitHistogram(t *testing.T) {
 	again := p.QueueWait()
 	if got := again.Count(); got != jobs {
 		t.Fatalf("snapshot aliases the pool histogram: count %d", got)
+	}
+}
+
+// TestQueueWaitExactWithFakeClock pins the queue-wait measurement to
+// exact values: with the pool on a fake clock, a job queued behind a
+// wedged worker waits precisely the advanced duration — an assertion
+// impossible with real time, where every bound must be fuzzy.
+func TestQueueWaitExactWithFakeClock(t *testing.T) {
+	p := NewPool(1, 8)
+	defer p.Shutdown(context.Background())
+	clock := obs.NewFakeClock(time.Unix(0, 0))
+	p.clock = clock
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	first, err := p.Submit(func() (any, error) { close(started); <-release; return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // dequeued with the clock unmoved: wait exactly 0
+	second, err := p.Submit(func() (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(250 * time.Millisecond) // the second job's whole queue wait
+	close(release)
+	for _, j := range []*Job{first, second} {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := p.QueueWait()
+	if h.Count() != 2 {
+		t.Fatalf("queue-wait count = %d, want 2", h.Count())
+	}
+	if h.Min() != 0 {
+		t.Fatalf("first job's wait = %v, want exactly 0 (dequeued before any advance)", h.Min())
+	}
+	if h.Max() != 0.25 {
+		t.Fatalf("second job's wait = %v, want exactly 0.25s", h.Max())
+	}
+	if h.Sum() != 0.25 {
+		t.Fatalf("summed wait = %v, want exactly 0.25s", h.Sum())
 	}
 }
 

@@ -1,0 +1,205 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"mmbench/internal/obs"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{QPS: 50, Duration: 2 * time.Second, Seed: 7, Arrival: ArrivalPoisson}
+	a := Schedule(cfg)
+	b := Schedule(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if a[0] != 0 {
+		t.Fatalf("first arrival at %v, want 0", a[0])
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("schedule not monotonic at %d: %v < %v", i, a[i], a[i-1])
+		}
+	}
+	if last := a[len(a)-1]; last >= cfg.Duration {
+		t.Fatalf("arrival %v beyond duration %v", last, cfg.Duration)
+	}
+
+	cfg.Seed = 8
+	c := Schedule(cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical poisson schedules")
+	}
+	// ~QPS×Duration arrivals, loosely: the exponential gaps average 1/QPS.
+	want := cfg.QPS * cfg.Duration.Seconds()
+	if n := float64(len(a)); n < want/2 || n > want*2 {
+		t.Fatalf("poisson schedule has %v arrivals, want around %v", n, want)
+	}
+}
+
+func TestScheduleUniform(t *testing.T) {
+	cfg := Config{QPS: 10, Duration: time.Second, Arrival: ArrivalUniform}
+	offs := Schedule(cfg)
+	if len(offs) != 10 {
+		t.Fatalf("uniform 10 QPS × 1s = %d arrivals, want 10", len(offs))
+	}
+	for i, off := range offs {
+		if want := time.Duration(i) * 100 * time.Millisecond; off != want {
+			t.Fatalf("arrival %d at %v, want %v", i, off, want)
+		}
+	}
+	// Seed must not matter for uniform arrivals.
+	cfg.Seed = 99
+	if !reflect.DeepEqual(offs, Schedule(cfg)) {
+		t.Fatal("seed changed a uniform schedule")
+	}
+}
+
+// TestClosedLoopDeterministicReport is the loadgen half of the
+// determinism harness: a closed single-worker loop against a stub
+// target that advances a fake clock a fixed amount per request must
+// produce a byte-identical report JSON on every run.
+func TestClosedLoopDeterministicReport(t *testing.T) {
+	once := func() []byte {
+		clock := obs.NewFakeClock(time.Unix(0, 0))
+		cfg := Config{
+			Mode:        ModeClosed,
+			Duration:    100 * time.Millisecond,
+			Concurrency: 1,
+			Seed:        42,
+			Clock:       clock,
+		}
+		rep, err := Run(context.Background(), cfg, func(ctx context.Context, i int) error {
+			clock.Advance(10 * time.Millisecond)
+			if i%5 == 4 {
+				return errors.New("simulated shed: 429")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Requests != 10 {
+			t.Fatalf("requests = %d, want exactly 10 (100ms / 10ms per request)", rep.Requests)
+		}
+		if rep.Errors != 2 || rep.ErrorCounts["simulated shed: 429"] != 2 {
+			t.Fatalf("errors = %d %v, want 2 simulated sheds", rep.Errors, rep.ErrorCounts)
+		}
+		if rep.Latency.Samples != 10 {
+			t.Fatalf("latency samples = %d, want 10", rep.Latency.Samples)
+		}
+		// Every request took exactly 10ms of fake time, so the summary
+		// collapses to a point mass and AchievedQPS is exact.
+		if rep.Latency.MaxMs != 10 {
+			t.Fatalf("max latency = %vms, want exactly 10", rep.Latency.MaxMs)
+		}
+		if rep.AchievedQPS != 100 {
+			t.Fatalf("achieved qps = %v, want exactly 100", rep.AchievedQPS)
+		}
+		var total uint64
+		for _, row := range rep.Histogram {
+			total += row.Count
+		}
+		if total != 10 {
+			t.Fatalf("histogram rows sum to %d, want 10", total)
+		}
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	first := once()
+	second := once()
+	if string(first) != string(second) {
+		t.Fatalf("closed-loop report not reproducible:\n  run 1: %s\n  run 2: %s", first, second)
+	}
+}
+
+// TestTableGolden pins the exact rendering: the table is part of the
+// determinism contract (CI diffs it), so formatting drift is a failure.
+func TestTableGolden(t *testing.T) {
+	rep := &Report{
+		Mode:            ModeOpen,
+		Arrival:         ArrivalPoisson,
+		Seed:            42,
+		TargetQPS:       50,
+		Concurrency:     1,
+		DurationSeconds: 2,
+		Requests:        100,
+		Errors:          3,
+		ErrorCounts:     map[string]int64{"status 429": 2, "status 503": 1},
+		AchievedQPS:     49.5,
+		Latency:         obs.Summary{Samples: 100, P50: 4.2, P95: 9.875, P99: 12.5, MaxMs: 15},
+		Histogram: []HistRow{
+			{UpToMs: 4.757, Count: 60},
+			{UpToMs: 11.314, Count: 38},
+			{UpToMs: 16, Count: 2},
+		},
+	}
+	want := "mode=open arrival=poisson target_qps=50.0 seed=42 duration=2.00s\n" +
+		"requests=100 errors=3 achieved_qps=49.50\n" +
+		"latency_ms: p50=4.200 p95=9.875 p99=12.500 max=15.000\n" +
+		"error      2  status 429\n" +
+		"error      1  status 503\n" +
+		"       <= ms    count\n" +
+		"       4.757       60\n" +
+		"      11.314       38\n" +
+		"      16.000        2\n"
+	if got := rep.Table(); got != want {
+		t.Fatalf("table rendering drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	closed := &Report{Mode: ModeClosed, Concurrency: 4, Seed: 1, DurationSeconds: 1, Requests: 8, AchievedQPS: 8}
+	wantClosed := "mode=closed concurrency=4 seed=1 duration=1.00s\n" +
+		"requests=8 errors=0 achieved_qps=8.00\n" +
+		"latency_ms: p50=0.000 p95=0.000 p99=0.000 max=0.000\n"
+	if got := closed.Table(); got != wantClosed {
+		t.Fatalf("closed table drifted:\n--- got ---\n%s--- want ---\n%s", got, wantClosed)
+	}
+}
+
+// TestOpenLoopRealClock smoke-tests the open loop end to end on the
+// wall clock: all scheduled arrivals fire and are awaited.
+func TestOpenLoopRealClock(t *testing.T) {
+	cfg := Config{Mode: ModeOpen, QPS: 400, Duration: 50 * time.Millisecond, Seed: 3}
+	want := len(Schedule(cfg))
+	rep, err := Run(context.Background(), cfg, func(ctx context.Context, i int) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != int64(want) {
+		t.Fatalf("requests = %d, want all %d scheduled arrivals", rep.Requests, want)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.TargetQPS != 400 || rep.Arrival != ArrivalPoisson {
+		t.Fatalf("report config echo wrong: %+v", rep)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Mode: "warp", Duration: time.Second}, nil); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if _, err := Run(context.Background(), Config{Mode: ModeOpen, QPS: 0, Duration: time.Second}, nil); err == nil {
+		t.Fatal("open loop without qps accepted")
+	}
+	if _, err := Run(context.Background(), Config{Mode: ModeClosed}, nil); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := Run(context.Background(), Config{Mode: ModeOpen, QPS: 1, Duration: time.Second, Arrival: "burst"}, nil); err == nil {
+		t.Fatal("bad arrival accepted")
+	}
+}

@@ -235,18 +235,48 @@ func (c *Ctx) Attention(q, k, v *Var, heads int, scale float32) *Var {
 	scoreScale, outScale := scale, float32(1)
 	prec := c.prec
 	var lowQ, lowK, lowV []float32
+	// scoreScales/outScales carry per-batch-index scales when a merged
+	// cross-request i8 batch calibrates each request's segment separately;
+	// nil (the usual case) means the scalar scales apply to every index.
+	var scoreScales, outScales []float32
 	if prec != precision.F32 {
-		countLowp(prec)
-		var sq, sk, sv float32
-		lowQ, sq = quantizeOperand(e, prec, qd)
-		defer e.Put(lowQ)
-		lowK, sk = quantizeOperand(e, prec, kd)
-		defer e.Put(lowK)
-		lowV, sv = quantizeOperand(e, prec, vd)
-		defer e.Put(lowV)
-		qd, kd, vd = lowQ, lowK, lowV
-		scoreScale = scale * sq * sk
-		outScale = sv
+		if segs := c.i8Segments(b); segs != nil {
+			// Per-segment quantization: each request's q/k/v slices get the
+			// same per-tensor scales they would standalone, so the i8 grids
+			// — and therefore every output bit — match the unbatched run.
+			lowQ = e.GetUninit(len(qd))
+			defer e.Put(lowQ)
+			lowK = e.GetUninit(len(kd))
+			defer e.Put(lowK)
+			lowV = e.GetUninit(len(vd))
+			defer e.Put(lowV)
+			precActivity.quantBytes.Add(int64(len(qd)+len(kd)+len(vd)) * 4)
+			scoreScales = make([]float32, b)
+			outScales = make([]float32, b)
+			for _, s := range segs {
+				countLowp(prec)
+				sq := quantizeInto(e, prec, lowQ[s.lo*tq*d:s.hi*tq*d], qd[s.lo*tq*d:s.hi*tq*d])
+				sk := quantizeInto(e, prec, lowK[s.lo*tk*d:s.hi*tk*d], kd[s.lo*tk*d:s.hi*tk*d])
+				sv := quantizeInto(e, prec, lowV[s.lo*tk*d:s.hi*tk*d], vd[s.lo*tk*d:s.hi*tk*d])
+				for bi := s.lo; bi < s.hi; bi++ {
+					scoreScales[bi] = scale * sq * sk
+					outScales[bi] = sv
+				}
+			}
+			qd, kd, vd = lowQ, lowK, lowV
+		} else {
+			countLowp(prec)
+			var sq, sk, sv float32
+			lowQ, sq = quantizeOperand(e, prec, qd)
+			defer e.Put(lowQ)
+			lowK, sk = quantizeOperand(e, prec, kd)
+			defer e.Put(lowK)
+			lowV, sv = quantizeOperand(e, prec, vd)
+			defer e.Put(lowV)
+			qd, kd, vd = lowQ, lowK, lowV
+			scoreScale = scale * sq * sk
+			outScale = sv
+		}
 	}
 	taping := c.taping(q, k, v)
 	// The backward recomputes probabilities from the final running max
@@ -274,6 +304,10 @@ func (c *Ctx) Attention(q, k, v *Var, heads int, scale float32) *Var {
 			rows := min(attnQTile, tq-i0)
 			qoff := bi*tq*d + h*dh
 			koff := bi*tk*d + h*dh
+			sScale, oScale := scoreScale, outScale
+			if scoreScales != nil {
+				sScale, oScale = scoreScales[bi], outScales[bi]
+			}
 			for i := 0; i < rows; i++ {
 				mbuf[i], lbuf[i] = negInf, 0
 			}
@@ -285,7 +319,7 @@ func (c *Ctx) Attention(q, k, v *Var, heads int, scale float32) *Var {
 			// function of the inputs.
 			for j0 := 0; j0 < tk; j0 += attnKTile {
 				w := min(attnKTile, tk-j0)
-				scoreTile(st, qd, kd, qoff, koff, rows, w, i0, j0, d, dh, scoreScale)
+				scoreTile(st, qd, kd, qoff, koff, rows, w, i0, j0, d, dh, sScale)
 				for i := 0; i < rows; i++ {
 					srow := st[i*w : (i+1)*w]
 					m := mbuf[i]
@@ -356,7 +390,7 @@ func (c *Ctx) Attention(q, k, v *Var, heads int, scale float32) *Var {
 				// multiplying by exactly 1 is a bitwise identity, so the
 				// f32 path is unchanged.
 				for x, ax := range accRow {
-					orow[x] = ax * inv * outScale
+					orow[x] = ax * inv * oScale
 				}
 				if taping {
 					rowMax[(bi*heads+h)*tq+i0+i] = mbuf[i]

@@ -97,7 +97,13 @@ func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
 		int64(outC)*int64(kDim)*int64(m) >= packMinFlops
 	gemmW := wdta
 	var qw []float32
-	var xScale, wScale, deqScale float32
+	var xScale, wScale, swLegacy float32
+	// xScales carries per-sample activation scales when a merged
+	// cross-request i8 batch calibrates each request's segment separately
+	// (the weight scale is per-tensor over W and batch-independent, and
+	// the packed crossover above depends only on outC·kDim·m — no
+	// batch-shaped kernel selection here).
+	var xScales []float32
 	if prec != precision.F32 {
 		countLowp(prec)
 		if prec == precision.I8 {
@@ -105,20 +111,26 @@ func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
 			// tensor's calibration (col entries are copies of input
 			// entries plus zero padding, so the input's maxabs bounds the
 			// col's).
-			xScale = precision.I8Scale(precision.MaxAbs(xd))
+			if segs := c.segments(n); segs != nil {
+				xScales = make([]float32, n)
+				for _, s := range segs {
+					sc := precision.I8Scale(precision.MaxAbs(xd[s.lo*ch*h*wd : s.hi*ch*h*wd]))
+					for ni := s.lo; ni < s.hi; ni++ {
+						xScales[ni] = sc
+					}
+				}
+			} else {
+				xScale = precision.I8Scale(precision.MaxAbs(xd))
+			}
 		}
 		if packedLowp {
 			if prec == precision.I8 {
 				wScale = precision.I8Scale(precision.MaxAbs(wdta))
 			}
 		} else {
-			var sw float32
-			qw, sw = quantizeOperand(e, prec, wdta)
+			qw, swLegacy = quantizeOperand(e, prec, wdta)
 			defer e.Put(qw)
 			gemmW = qw
-			if prec == precision.I8 {
-				deqScale = xScale * sw
-			}
 		}
 	}
 	col := e.GetUninit(kDim * m) // im2col writes every entry
@@ -126,9 +138,13 @@ func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
 	for ni := 0; ni < n; ni++ {
 		im2col(e, col, xd[ni*ch*h*wd:(ni+1)*ch*h*wd], ch, h, wd, kh, kw, oh, ow, stride, pad)
 		oslice := od[ni*outC*m : (ni+1)*outC*m]
+		xs := xScale
+		if xScales != nil {
+			xs = xScales[ni]
+		}
 		switch {
 		case packedLowp && prec == precision.I8:
-			gemm.I8(e, oslice, wdta, col, outC, kDim, m, 1, wScale, xScale, false, false)
+			gemm.I8(e, oslice, wdta, col, outC, kDim, m, 1, wScale, xs, false, false)
 		case packedLowp:
 			gemm.F16(e, oslice, wdta, col, outC, kDim, m, 1, false, false)
 		case prec == precision.F16:
@@ -136,10 +152,10 @@ func (c *Ctx) Conv2D(x, w, bias *Var, stride, pad int) *Var {
 			matmulNN(e, oslice, gemmW, col, outC, kDim, m)
 		case prec == precision.I8:
 			e.ParallelFor(len(col), elemGrain, func(lo, hi int) {
-				precision.QuantizeI8(col[lo:hi], col[lo:hi], xScale)
+				precision.QuantizeI8(col[lo:hi], col[lo:hi], xs)
 			})
 			matmulNN(e, oslice, gemmW, col, outC, kDim, m)
-			scaleSlice(e, oslice, deqScale)
+			scaleSlice(e, oslice, xs*swLegacy)
 		default:
 			matmulNN(e, oslice, gemmW, col, outC, kDim, m)
 		}

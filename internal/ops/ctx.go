@@ -76,6 +76,18 @@ type Ctx struct {
 	// observer: results are bitwise identical with or without it. Each
 	// concurrently-executing branch context must carry its own shard.
 	Prof *obs.Shard
+	// Segments, when it has two or more entries, marks this forward as a
+	// merged cross-request batch: Segments[i] is request i's sample
+	// count, concatenated in order along the leading (batch) dimension.
+	// The few kernels whose numerics cross the batch dimension — the
+	// per-tensor int8 scale calibrations, BatchNorm2D's batch statistics,
+	// and Linear's rows-dependent kernel selection — execute per segment,
+	// so every request's output slice is bitwise identical to the same
+	// request run alone. Every other operator is sample- or row-local in
+	// the batch dimension (and engine chunking is bitwise-invariant), so
+	// it needs no segmentation. Empty means a single request, the usual
+	// case.
+	Segments []int
 }
 
 // Infer returns a minimal inference context with no tape or recorder.

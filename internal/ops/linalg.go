@@ -230,15 +230,29 @@ func (c *Ctx) MatMulBatched(a, b *Var) *Var {
 	e := c.engine()
 	ad, bd, od := a.Value.Data(), b.Value.Data(), out.Value.Data()
 	if p := c.prec; p != precision.F32 {
-		countLowp(p)
-		qa, sa := quantizeOperand(e, p, ad)
-		defer e.Put(qa)
-		qb, sb := quantizeOperand(e, p, bd)
-		defer e.Put(qb)
-		batchMatmul(e, bs, func(inner *engine.Engine, i int) {
-			matmulNN(inner, od[i*m*n:(i+1)*m*n], qa[i*m*k:(i+1)*m*k], qb[i*k*n:(i+1)*k*n], m, k, n)
-		})
-		finishLowp(e, p, od, sa*sb)
+		// At i8 the per-tensor operand scales are cross-request state, so a
+		// merged batch quantizes and multiplies per request segment (the
+		// leading dim is B·H under split heads; segments() scales by H).
+		// f16 quantization is element-wise and needs no segmentation.
+		lowpSeg := func(blo, bhi int) {
+			countLowp(p)
+			aseg, bseg, oseg := ad[blo*m*k:bhi*m*k], bd[blo*k*n:bhi*k*n], od[blo*m*n:bhi*m*n]
+			qa, sa := quantizeOperand(e, p, aseg)
+			defer e.Put(qa)
+			qb, sb := quantizeOperand(e, p, bseg)
+			defer e.Put(qb)
+			batchMatmul(e, bhi-blo, func(inner *engine.Engine, i int) {
+				matmulNN(inner, oseg[i*m*n:(i+1)*m*n], qa[i*m*k:(i+1)*m*k], qb[i*k*n:(i+1)*k*n], m, k, n)
+			})
+			finishLowp(e, p, oseg, sa*sb)
+		}
+		if segs := c.i8Segments(bs); segs != nil {
+			for _, s := range segs {
+				lowpSeg(s.lo, s.hi)
+			}
+		} else {
+			lowpSeg(0, bs)
+		}
 	} else {
 		batchMatmul(e, bs, func(inner *engine.Engine, i int) {
 			matmulNN(inner, od[i*m*n:(i+1)*m*n], ad[i*m*k:(i+1)*m*k], bd[i*k*n:(i+1)*k*n], m, k, n)
@@ -291,20 +305,32 @@ func (c *Ctx) MatMulBatchedNT(a, b *Var, alpha float32) *Var {
 	e := c.engine()
 	ad, bd, od := a.Value.Data(), b.Value.Data(), out.Value.Data()
 	if p := c.prec; p != precision.F32 {
-		countLowp(p)
-		qa, sa := quantizeOperand(e, p, ad)
-		defer e.Put(qa)
-		qb, sb := quantizeOperand(e, p, bd)
-		defer e.Put(qb)
-		// For i8 the operand scales fold into alpha, applied once per
-		// finished dot — the scale-after-accumulate order of an int8
-		// GEMM (for f16 sa·sb is 1 and alpha is unchanged).
-		alphaQ := alpha * sa * sb
-		batchMatmul(e, bs, func(inner *engine.Engine, i int) {
-			matmulNTAlpha(inner, od[i*m*n:(i+1)*m*n], qa[i*m*d:(i+1)*m*d], qb[i*n*d:(i+1)*n*d], m, d, n, alphaQ)
-		})
-		if p == precision.F16 {
-			roundSliceF16(e, od)
+		// Same per-segment rule as MatMulBatched: i8 scales are per-tensor,
+		// so merged batches calibrate per request segment.
+		lowpSeg := func(blo, bhi int) {
+			countLowp(p)
+			oseg := od[blo*m*n : bhi*m*n]
+			qa, sa := quantizeOperand(e, p, ad[blo*m*d:bhi*m*d])
+			defer e.Put(qa)
+			qb, sb := quantizeOperand(e, p, bd[blo*n*d:bhi*n*d])
+			defer e.Put(qb)
+			// For i8 the operand scales fold into alpha, applied once per
+			// finished dot — the scale-after-accumulate order of an int8
+			// GEMM (for f16 sa·sb is 1 and alpha is unchanged).
+			alphaQ := alpha * sa * sb
+			batchMatmul(e, bhi-blo, func(inner *engine.Engine, i int) {
+				matmulNTAlpha(inner, oseg[i*m*n:(i+1)*m*n], qa[i*m*d:(i+1)*m*d], qb[i*n*d:(i+1)*n*d], m, d, n, alphaQ)
+			})
+			if p == precision.F16 {
+				roundSliceF16(e, oseg)
+			}
+		}
+		if segs := c.i8Segments(bs); segs != nil {
+			for _, s := range segs {
+				lowpSeg(s.lo, s.hi)
+			}
+		} else {
+			lowpSeg(0, bs)
 		}
 	} else {
 		batchMatmul(e, bs, func(inner *engine.Engine, i int) {
@@ -385,41 +411,61 @@ func (c *Ctx) Linear(x, w, bias *Var) *Var {
 
 	e := c.engine()
 	od := out.Value.Data()
-	if p := c.prec; p != precision.F32 {
-		// Weights and activations are stored at the reduced precision;
-		// the bias joins in the wide accumulator (for f16 the sum is
-		// re-stored through the grid exactly once, after the bias, like
-		// Conv2D; for i8 the dequantized output stays f32 — both the
-		// usual hardware arrangement). Above the packed crossover the
-		// operands quantize inside the panel packing (int32 accumulation
-		// for i8); below it, pooled emulation copies.
-		countLowp(p)
-		if int64(rows)*int64(in)*int64(outDim) >= packMinFlops {
-			xd, wd := x.Value.Data(), w.Value.Data()
-			if p == precision.I8 {
-				sx := precision.I8Scale(precision.MaxAbs(xd))
-				sw := precision.I8Scale(precision.MaxAbs(wd))
-				gemm.I8(e, od, xd, wd, rows, in, outDim, 1, sx, sw, false, false)
+	// A merged cross-request batch runs the GEMM per request segment: both
+	// the packed-core crossover and the i8 activation scale depend on rows,
+	// so a rows-merged call could pick a different kernel (packed FMA core
+	// vs legacy mul+add) or a different calibration than each request run
+	// alone. Per-segment execution — at every precision, f32 included —
+	// keeps each request's slice bitwise identical to its standalone run.
+	// The weight scale is per-tensor over W and batch-independent.
+	segs := c.segments(rows)
+	xdAll, wd := x.Value.Data(), w.Value.Data()
+	gemmSeg := func(lo, hi int) {
+		rs := hi - lo
+		oseg := od[lo*outDim : hi*outDim]
+		xd := xdAll[lo*in : hi*in]
+		if p := c.prec; p != precision.F32 {
+			// Weights and activations are stored at the reduced precision;
+			// the bias joins in the wide accumulator (for f16 the sum is
+			// re-stored through the grid exactly once, after the bias, like
+			// Conv2D; for i8 the dequantized output stays f32 — both the
+			// usual hardware arrangement). Above the packed crossover the
+			// operands quantize inside the panel packing (int32 accumulation
+			// for i8); below it, pooled emulation copies.
+			countLowp(p)
+			if int64(rs)*int64(in)*int64(outDim) >= packMinFlops {
+				if p == precision.I8 {
+					sx := precision.I8Scale(precision.MaxAbs(xd))
+					sw := precision.I8Scale(precision.MaxAbs(wd))
+					gemm.I8(e, oseg, xd, wd, rs, in, outDim, 1, sx, sw, false, false)
+				} else {
+					gemm.F16(e, oseg, xd, wd, rs, in, outDim, 1, false, false)
+					if bias == nil {
+						roundSliceF16(e, oseg)
+					}
+				}
 			} else {
-				gemm.F16(e, od, xd, wd, rows, in, outDim, 1, false, false)
-				if bias == nil {
-					roundSliceF16(e, od)
+				qx, sx := quantizeOperand(e, p, xd)
+				defer e.Put(qx)
+				qw, sw := quantizeOperand(e, p, wd)
+				defer e.Put(qw)
+				matmulNN(e, oseg, qx, qw, rs, in, outDim)
+				if p == precision.I8 {
+					scaleSlice(e, oseg, sx*sw)
+				} else if bias == nil {
+					roundSliceF16(e, oseg)
 				}
 			}
 		} else {
-			qx, sx := quantizeOperand(e, p, x.Value.Data())
-			defer e.Put(qx)
-			qw, sw := quantizeOperand(e, p, w.Value.Data())
-			defer e.Put(qw)
-			matmulNN(e, od, qx, qw, rows, in, outDim)
-			if p == precision.I8 {
-				scaleSlice(e, od, sx*sw)
-			} else if bias == nil {
-				roundSliceF16(e, od)
-			}
+			matmulNN(e, oseg, xd, wd, rs, in, outDim)
 		}
+	}
+	if segs == nil {
+		gemmSeg(0, rows)
 	} else {
-		matmulNN(e, od, x.Value.Data(), w.Value.Data(), rows, in, outDim)
+		for _, s := range segs {
+			gemmSeg(s.lo, s.hi)
+		}
 	}
 	if bias != nil {
 		bd := bias.Value.Data()
@@ -439,7 +485,18 @@ func (c *Ctx) Linear(x, w, bias *Var) *Var {
 		c.tapeStep(out, func() {
 			g := out.Grad.Data()
 			if x.NeedGrad {
-				matmulNT(e, x.EnsureGrad().Data(), g, w.Value.Data(), rows, outDim, in)
+				// dX mirrors the forward segmentation: the matmulNT packed
+				// crossover also depends on rows, so a merged batch takes it
+				// per segment. dW and db stay merged-batch reductions —
+				// parameter grads are inherently cross-request sums.
+				xg := x.EnsureGrad().Data()
+				if segs == nil {
+					matmulNT(e, xg, g, w.Value.Data(), rows, outDim, in)
+				} else {
+					for _, s := range segs {
+						matmulNT(e, xg[s.lo*in:s.hi*in], g[s.lo*outDim:s.hi*outDim], w.Value.Data(), s.hi-s.lo, outDim, in)
+					}
+				}
 			}
 			if w.NeedGrad {
 				matmulTN(e, w.EnsureGrad().Data(), x.Value.Data(), g, rows, in, outDim)

@@ -141,33 +141,49 @@ func (c *Ctx) BatchNorm2D(x, gamma, beta *Var, eps float32) *Var {
 	plane := h * w
 	xd, od := x.Value.Data(), out.Value.Data()
 	gd, bd := gamma.Value.Data(), beta.Value.Data()
+	// Batch statistics are the definitional cross-request state: a merged
+	// batch normalizes each request's segment with that segment's own
+	// mean/variance, exactly as the request would compute standalone.
+	segs := c.segments(n)
 	e.ParallelFor(ch, rowGrain(n*plane), func(c0, c1 int) {
 		for ci := c0; ci < c1; ci++ {
-			var mean float64
-			for ni := 0; ni < n; ni++ {
-				base := (ni*ch + ci) * plane
-				for i := 0; i < plane; i++ {
-					mean += float64(xd[base+i])
-				}
-			}
-			count := float64(n * plane)
-			mean /= count
-			var varSum float64
-			for ni := 0; ni < n; ni++ {
-				base := (ni*ch + ci) * plane
-				for i := 0; i < plane; i++ {
-					dv := float64(xd[base+i]) - mean
-					varSum += dv * dv
-				}
-			}
-			invStd := float32(1 / math.Sqrt(varSum/count+float64(eps)))
-			for ni := 0; ni < n; ni++ {
-				base := (ni*ch + ci) * plane
-				for i := 0; i < plane; i++ {
-					od[base+i] = (xd[base+i]-float32(mean))*invStd*gd[ci] + bd[ci]
+			if segs == nil {
+				bnChannel(xd, od, gd, bd, ci, ch, plane, 0, n, eps)
+			} else {
+				for _, s := range segs {
+					bnChannel(xd, od, gd, bd, ci, ch, plane, s.lo, s.hi, eps)
 				}
 			}
 		}
 	})
 	return out
+}
+
+// bnChannel normalizes one channel of the samples in [nlo, nhi) using
+// that span's batch statistics.
+func bnChannel(xd, od, gd, bd []float32, ci, ch, plane, nlo, nhi int, eps float32) {
+	var mean float64
+	for ni := nlo; ni < nhi; ni++ {
+		base := (ni*ch + ci) * plane
+		for i := 0; i < plane; i++ {
+			mean += float64(xd[base+i])
+		}
+	}
+	count := float64((nhi - nlo) * plane)
+	mean /= count
+	var varSum float64
+	for ni := nlo; ni < nhi; ni++ {
+		base := (ni*ch + ci) * plane
+		for i := 0; i < plane; i++ {
+			dv := float64(xd[base+i]) - mean
+			varSum += dv * dv
+		}
+	}
+	invStd := float32(1 / math.Sqrt(varSum/count+float64(eps)))
+	for ni := nlo; ni < nhi; ni++ {
+		base := (ni*ch + ci) * plane
+		for i := 0; i < plane; i++ {
+			od[base+i] = (xd[base+i]-float32(mean))*invStd*gd[ci] + bd[ci]
+		}
+	}
 }

@@ -138,9 +138,12 @@ func TestChaosServerSurvivesSustainedFaultInjection(t *testing.T) {
 // balanced.
 func TestGracefulShutdownUnderLoad(t *testing.T) {
 	// Stall every dequeue so the queue stays backed up long enough for
-	// Shutdown to land while work is pending.
+	// Shutdown to land while work is pending. Batching is disabled:
+	// this test needs every request to be its own pool job so some are
+	// still QUEUED when Shutdown lands (the batcher would merge the
+	// burst into one job and leave nothing to shed).
 	withFaults(t, "jobs.dequeue=delay:50ms")
-	s := New(Options{Workers: 2, CacheBytes: 32 << 20})
+	s := New(Options{Workers: 2, CacheBytes: 32 << 20, MaxBatch: -1})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close() })
 

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCostEstimatorCalibration drives the EWMA cost model with pure
+// durations — no wall clock, no sleeping — and pins the exact values:
+// unknown fingerprints estimate 0 (always admit), the first observation
+// seeds the ratio, and later ones move it by ewmaAlpha.
+func TestCostEstimatorCalibration(t *testing.T) {
+	ce := newCostEstimator()
+
+	if got := ce.estimate("fp"); got != 0 {
+		t.Fatalf("unknown fingerprint estimate = %v, want 0", got)
+	}
+
+	// First sample: 2.0 modeled seconds observed to take 1s of wall →
+	// calibration ratio 0.5, estimate modeled×ratio = 1s.
+	ce.observe("fp", 2.0, time.Second)
+	if got, want := ce.estimate("fp"), time.Second; got != want {
+		t.Fatalf("after first sample: estimate = %v, want %v", got, want)
+	}
+
+	// Second sample at ratio 1.5 moves the EWMA by ewmaAlpha exactly.
+	ce.observe("fp", 2.0, 3*time.Second)
+	wantRatio := 0.5 + ewmaAlpha*(1.5-0.5)
+	want := time.Duration(2.0 * wantRatio * float64(time.Second))
+	if got := ce.estimate("fp"); got != want {
+		t.Fatalf("after EWMA update: estimate = %v, want %v", got, want)
+	}
+
+	// A fingerprint never observed still estimates 0 even though the
+	// global ratio is calibrated: shedding must never be based on a
+	// guess about an unknown workload.
+	if got := ce.estimate("other"); got != 0 {
+		t.Fatalf("unknown fingerprint with calibrated ratio: %v, want 0", got)
+	}
+
+	// Degenerate samples are ignored, not folded into the calibration.
+	ce.observe("fp", 0, time.Second)
+	ce.observe("fp", 1.0, 0)
+	if got := ce.estimate("fp"); got != want {
+		t.Fatalf("degenerate samples moved the estimate: %v, want %v", got, want)
+	}
+}

@@ -24,6 +24,7 @@ import (
 //
 //	mmbench_requests_total, mmbench_encode_errors_total
 //	mmbench_cache_*            result-cache counters
+//	mmbench_batch_*            continuous cross-request batching counters
 //	mmbench_jobs               scheduler job counts by state
 //	mmbench_queue_depth        jobs waiting for a worker
 //	mmbench_engine_*           compute-engine and buffer-pool counters
@@ -56,6 +57,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.counter("mmbench_cache_coalesced_total", "Requests coalesced into an in-flight execution.", float64(cs.Coalesced))
 	m.counter("mmbench_cache_evictions_total", "Cache entries evicted.", float64(cs.Evictions))
 	m.gauge("mmbench_cache_resident_bytes", "Bytes of cached reports resident.", float64(cs.Bytes))
+
+	if s.batcher != nil {
+		bst := s.batcher.Stats()
+		m.counter("mmbench_batch_merged_total", "Merged cross-request forward executions.", float64(bst.MergedBatches))
+		m.counter("mmbench_batch_requests_total", "Requests carried by merged executions.", float64(bst.MergedRequests))
+		m.counter("mmbench_batch_samples_total", "Samples (summed member batch sizes) carried by merged executions.", float64(bst.MergedSamples))
+		m.gauge("mmbench_batch_queue_depth", "Requests pending in the batcher's fingerprint queues.", float64(bst.QueueDepth))
+		m.gauge("mmbench_batch_coalesce_ratio", "Requests per merged execution (1 = no cross-request sharing).", bst.CoalesceRatio)
+		m.gauge("mmbench_batch_max_merged", "Largest request count a single execution carried.", float64(bst.MaxMerged))
+		if len(bst.BatchSizes) > 0 {
+			sizes := make([]int, 0, len(bst.BatchSizes))
+			for n := range bst.BatchSizes {
+				sizes = append(sizes, n)
+			}
+			sort.Ints(sizes)
+			m.head("mmbench_batch_size_total", "Merged executions by request count.", "counter")
+			for _, n := range sizes {
+				m.labeled("mmbench_batch_size_total",
+					fmt.Sprintf("requests=%q", strconv.Itoa(n)), float64(bst.BatchSizes[n]))
+			}
+		}
+	}
 
 	counts := s.pool.Counts()
 	m.head("mmbench_jobs", "Scheduler jobs by state.", "gauge")

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"mmbench"
+	"mmbench/internal/batch"
 	"mmbench/internal/engine"
 	"mmbench/internal/gemm"
 	"mmbench/internal/jobs"
@@ -58,6 +59,18 @@ type Options struct {
 	// workload-config fingerprint may accumulate before the config is
 	// quarantined (requests fail fast with 422). Default 3.
 	QuarantineThreshold int
+	// MaxBatch caps the total sample count one merged cross-request
+	// forward may carry (the -max-batch flag of mmbench serve). Zero
+	// means the default (256); negative disables continuous batching
+	// entirely — every eager request executes alone.
+	MaxBatch int
+	// BatchWindow is how long the continuous batcher holds the first
+	// request on an idle queue for compatible requests to join (the
+	// -batch-window flag). Zero means the default (2ms).
+	BatchWindow time.Duration
+	// Clock drives request-latency measurement and the batching window
+	// (default: the wall clock). Tests inject an obs.FakeClock.
+	Clock obs.Clock
 }
 
 // Server is the benchmark service.
@@ -71,6 +84,14 @@ type Server struct {
 	workers          int
 	quar             *quarantine
 	est              *costEstimator
+	clock            obs.Clock
+	// batcher merges compatible concurrent eager requests into shared
+	// forwards (nil when batching is disabled). It sits BELOW the result
+	// cache: identical configs coalesce in the cache, distinct-but-
+	// compatible ones merge here.
+	batcher  *batch.Batcher
+	maxBatch int
+	window   time.Duration
 
 	mu       sync.Mutex
 	requests uint64
@@ -103,6 +124,15 @@ func New(opts Options) *Server {
 	if opts.CacheBytes <= 0 {
 		opts.CacheBytes = 64 << 20
 	}
+	if opts.Clock == nil {
+		opts.Clock = obs.RealClock()
+	}
+	if opts.MaxBatch == 0 {
+		opts.MaxBatch = 256
+	}
+	if opts.BatchWindow <= 0 {
+		opts.BatchWindow = 2 * time.Millisecond
+	}
 	s := &Server{
 		runner:           mmbench.NewCachedRunner(opts.CacheBytes),
 		pool:             jobs.NewPool(opts.Workers, opts.QueueCap),
@@ -113,7 +143,38 @@ func New(opts Options) *Server {
 		workers:          opts.Workers,
 		quar:             newQuarantine(opts.QuarantineThreshold),
 		est:              newCostEstimator(),
+		clock:            opts.Clock,
+		maxBatch:         opts.MaxBatch,
+		window:           opts.BatchWindow,
 		placeChosen:      make(map[string]uint64),
+	}
+	if opts.MaxBatch > 0 {
+		s.batcher = batch.New(batch.Options{
+			MaxBatch: opts.MaxBatch,
+			Window:   opts.BatchWindow,
+			Clock:    opts.Clock,
+			// One merged batch costs one scheduler admission and one
+			// queue slot, exactly like a standalone execution.
+			Exec: func(ctx context.Context, deadline time.Time, est time.Duration, fn func(context.Context) error) error {
+				job, err := s.pool.SubmitCtx(ctx,
+					jobs.SubmitOptions{Deadline: deadline, EstCost: est},
+					func(jctx context.Context) (any, error) { return nil, fn(jctx) })
+				if err != nil {
+					return err
+				}
+				<-job.Done()
+				return job.Snapshot().Err
+			},
+			// A panicking merged forward counts ONE quarantine strike per
+			// distinct member config — not one per waiter, which would let
+			// a single crash of a wide batch quarantine a config instantly.
+			OnPanic: func(fps []string, v any) {
+				summary := fmt.Sprint(v)
+				for _, fp := range fps {
+					s.quar.recordPanic(fp, summary)
+				}
+			},
+		})
 	}
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
@@ -288,29 +349,50 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// admission: cache hits and requests coalesced onto an in-flight
 	// identical execution never consume a queue slot, so N identical
 	// clients cost one admission and one run.
-	begin := time.Now()
+	begin := s.clock.Now()
 	var executed bool
-	rep, stageMs, err := s.runner.RunProfiledCtxVia(r.Context(), cfg,
-		func(compute mmbench.ComputeFn) (any, error) {
-			executed = true
-			job, err := s.pool.SubmitCtx(r.Context(),
-				jobs.SubmitOptions{Deadline: deadline, EstCost: s.est.estimate(fp)},
-				func(ctx context.Context) (any, error) { return compute(ctx) })
-			if err != nil {
-				return nil, err
-			}
-			<-job.Done()
-			snap := job.Snapshot()
-			return snap.Result, snap.Err
-		})
+	var rep *mmbench.Report
+	var stageMs map[string]float64
+	// Eager cache misses route through the continuous batcher: pending
+	// compatible requests (same workload/variant/device/precision,
+	// differing only in batch size and seed) merge into one forward, and
+	// the scattered per-request report is bitwise identical to a
+	// standalone run — so the cache entry it lands in is too.
+	batched := s.batcher != nil && cfg.Eager
+	if batched {
+		rep, stageMs, err = s.runner.RunProfiledCtxThrough(r.Context(), cfg,
+			func(ctx context.Context, cfg mmbench.RunConfig) (*mmbench.Report, map[string]float64, error) {
+				executed = true
+				return s.batcher.Do(ctx, cfg, deadline, s.est.estimate(fp))
+			})
+	} else {
+		rep, stageMs, err = s.runner.RunProfiledCtxVia(r.Context(), cfg,
+			func(compute mmbench.ComputeFn) (any, error) {
+				executed = true
+				job, err := s.pool.SubmitCtx(r.Context(),
+					jobs.SubmitOptions{Deadline: deadline, EstCost: s.est.estimate(fp)},
+					func(ctx context.Context) (any, error) { return compute(ctx) })
+				if err != nil {
+					return nil, err
+				}
+				<-job.Done()
+				snap := job.Snapshot()
+				return snap.Result, snap.Err
+			})
+	}
 	if err != nil {
 		var pe *jobs.PanicError
 		switch {
 		case errors.As(err, &pe):
 			// The fingerprint is known here whichever layer panicked —
 			// engine worker, branch executor, kernel — because the pool
-			// funnels every recovered panic into one PanicError.
-			s.quar.recordPanic(fp, fmt.Sprintf("%v", pe.Value))
+			// funnels every recovered panic into one PanicError. Batched
+			// panics were already recorded by the batcher's OnPanic (once
+			// per distinct member config); recording here again would
+			// double-count this request's strike.
+			if !batched {
+				s.quar.recordPanic(fp, fmt.Sprintf("%v", pe.Value))
+			}
 			s.writeErr(w, r, http.StatusInternalServerError, "run panicked: %v", pe.Value)
 		case errors.Is(err, jobs.ErrDeadline), errors.Is(err, jobs.ErrWontFinish),
 			errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrShutdown),
@@ -326,7 +408,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	wall := time.Since(begin)
+	wall := s.clock.Since(begin)
 	s.recordLatency(wall)
 	if executed {
 		// Calibrate the cost estimator on real executions only: a cache
@@ -471,7 +553,11 @@ type Stats struct {
 	// ran; empty until the first eager run.
 	StageLatency map[string]obs.Summary `json:"stage_latency_ms,omitempty"`
 	Cache        CacheStats             `json:"cache"`
-	Jobs         map[string]int         `json:"jobs"`
+	// Batching reports the continuous cross-request batcher: merged-
+	// batch histogram, coalesce ratio, queue depth, and the per-stage
+	// latency percentiles observed under merged load.
+	Batching BatchingStats  `json:"batching"`
+	Jobs     map[string]int `json:"jobs"`
 	// Queue reports scheduler queue pressure: current depth plus
 	// queue-wait percentiles (submission to worker pickup).
 	Queue     QueueStats     `json:"queue"`
@@ -503,6 +589,37 @@ type QueueStats struct {
 	// WaitMs are queue-wait percentiles (enqueue to worker pickup) over
 	// every job dequeued since start-up, in milliseconds.
 	WaitMs obs.Summary `json:"wait_ms"`
+}
+
+// BatchingStats is the `batching` block of /v1/stats.
+type BatchingStats struct {
+	// Enabled is false when the server runs with batching disabled
+	// (-max-batch < 0); the counters are then permanently zero.
+	Enabled bool `json:"enabled"`
+	// MaxBatch is the merged-forward sample cap; WindowMs the
+	// accumulation window.
+	MaxBatch int     `json:"max_batch"`
+	WindowMs float64 `json:"window_ms"`
+	batch.Stats
+	// StageLatency repeats the process-wide per-stage percentiles
+	// (milliseconds) for reading batching effect under load: merged
+	// forwards observe each stage ONCE per batch, so heavier coalescing
+	// shows up as fewer, larger stage samples.
+	StageLatency map[string]obs.Summary `json:"stage_latency_ms,omitempty"`
+}
+
+func (s *Server) batchingStats(stageLat map[string]obs.Summary) BatchingStats {
+	bs := BatchingStats{
+		MaxBatch: s.maxBatch,
+		WindowMs: float64(s.window) / float64(time.Millisecond),
+	}
+	if s.batcher == nil {
+		return bs
+	}
+	bs.Enabled = true
+	bs.Stats = s.batcher.Stats()
+	bs.StageLatency = stageLat
+	return bs
 }
 
 // CacheStats extends the cache counters with the derived hit rate.
@@ -616,7 +733,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Depth:  s.pool.QueueDepth(),
 			WaitMs: wait.SummaryMs(),
 		},
-		Cache: CacheStats{Stats: cs, HitRate: cs.HitRate()},
+		Cache:    CacheStats{Stats: cs, HitRate: cs.HitRate()},
+		Batching: s.batchingStats(stageLat),
 		Engine: EngineStats{
 			Stats:       es,
 			PoolHitRate: es.HitRate(),

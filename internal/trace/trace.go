@@ -8,6 +8,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 
 	"mmbench/internal/device"
 	"mmbench/internal/kernels"
@@ -57,11 +58,19 @@ type Trace struct {
 	TransferSeconds float64
 }
 
-// GPUBusy returns total kernel-execution seconds across streams.
+// GPUBusy returns total kernel-execution seconds across streams. The
+// sum runs in stream-id order: float addition is not associative, so
+// summing in map iteration order would wobble the total by an ulp
+// between identical runs, breaking report bitwise reproducibility.
 func (t *Trace) GPUBusy() float64 {
+	ids := make([]int, 0, len(t.StreamBusy))
+	for id := range t.StreamBusy {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var s float64
-	for _, b := range t.StreamBusy {
-		s += b
+	for _, id := range ids {
+		s += t.StreamBusy[id]
 	}
 	return s
 }
